@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Each ``bench_*``/``test_*`` module regenerates one table or figure of the
+paper; run with ``pytest benchmarks/ --benchmark-only`` for timed results,
+or execute a module directly (``python benchmarks/bench_table3.py``) to
+print the corresponding table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_design, designs
+
+_COMPILED_CACHE: dict = {}
+
+#: smaller Type B/C instances keep co-simulation affordable in CI runs
+TABLE3_PARAMS = {
+    "fig4_ex2": {"n": 400}, "fig4_ex3": {"n": 400},
+    "fig4_ex4a": {"n": 400}, "fig4_ex4b": {"n": 400},
+    "fig4_ex4a_d": {"polls": 600}, "fig4_ex4b_d": {"polls": 600},
+    "fig4_ex5": {"n": 400}, "fig2_timer": {"n": 400},
+    "deadlock": {"n": 100}, "branch": {"n": 800},
+    "multicore": {"n": 250},
+}
+
+
+def compiled_design(name: str, **params):
+    key = (name, tuple(sorted(params.items())))
+    if key not in _COMPILED_CACHE:
+        _COMPILED_CACHE[key] = compile_design(
+            designs.get(name).make(**params)
+        )
+    return _COMPILED_CACHE[key]
+
+
+def table3_compiled(name: str):
+    return compiled_design(name, **TABLE3_PARAMS.get(name, {}))
+
+
+@pytest.fixture
+def compiled():
+    return compiled_design

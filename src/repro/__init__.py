@@ -1,0 +1,32 @@
+"""OmniSim reproduction: C-speed, RTL-accurate simulation for HLS designs.
+
+Public API tour::
+
+    from repro import hls, compile_design
+    from repro.sim import OmniSimulator, CoSimulator, CSimulator
+
+    @hls.kernel
+    def producer(...): ...
+
+    design = hls.Design("example")
+    ...
+    compiled = compile_design(design)
+    result = OmniSimulator(compiled).run()
+    print(result.cycles, result.scalars)
+
+See README.md for the full walkthrough and DESIGN.md for the system map.
+"""
+
+from . import errors, hls
+from .compile import CompiledDesign, CompiledModule, compile_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledDesign",
+    "CompiledModule",
+    "compile_design",
+    "errors",
+    "hls",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Analysis utilities: taxonomy classification, accuracy, table rendering."""
+
+from .accuracy import AccuracyRow, compare_outputs, geomean
+from .tables import fmt_seconds, fmt_speedup, render_table
+from .taxonomy import Classification, classify
+
+__all__ = [
+    "AccuracyRow",
+    "Classification",
+    "classify",
+    "compare_outputs",
+    "fmt_seconds",
+    "fmt_speedup",
+    "geomean",
+    "render_table",
+]

@@ -1,0 +1,65 @@
+"""Simulator-vs-simulator comparison utilities (Fig. 8a machinery)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AccuracyRow:
+    """One design's accuracy comparison between two simulators."""
+
+    design: str
+    reference_cycles: int
+    measured_cycles: int
+
+    @property
+    def error(self) -> float:
+        """Relative error of measured vs reference cycles."""
+        if self.reference_cycles == 0:
+            return 0.0 if self.measured_cycles == 0 else float("inf")
+        return (self.measured_cycles - self.reference_cycles) \
+            / self.reference_cycles
+
+    @property
+    def exact(self) -> bool:
+        return self.measured_cycles == self.reference_cycles
+
+    def describe(self) -> str:
+        if self.exact:
+            return "Exact"
+        return f"{self.error:+.2%}"
+
+
+def compare_outputs(reference, measured) -> list[str]:
+    """Differences between two SimulationResults' functional outputs."""
+    problems = []
+    for name, value in reference.scalars.items():
+        other = measured.scalars.get(name)
+        if other != value:
+            problems.append(f"scalar {name}: {value} != {other}")
+    for name, values in reference.buffers.items():
+        other = measured.buffers.get(name)
+        if other != values:
+            first_diff = next(
+                (i for i, (a, b) in enumerate(zip(values, other or []))
+                 if a != b), None,
+            )
+            problems.append(
+                f"buffer {name}: differs (first at index {first_diff})"
+            )
+    for name, values in reference.axi_memories.items():
+        if measured.axi_memories.get(name) != values:
+            problems.append(f"axi memory {name}: differs")
+    return problems
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive floats."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

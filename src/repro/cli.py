@@ -1,0 +1,169 @@
+"""Command-line interface: ``omnisim <command>`` (or ``python -m repro``).
+
+Commands:
+
+* ``list`` — enumerate the registered benchmark designs;
+* ``run <design> [--sim omnisim|cosim|csim|lightningsim|omnisim-threads]
+  [--depth fifo=N ...]`` — simulate a design and print its outputs;
+* ``classify <design>`` — Type A/B/C taxonomy analysis;
+* ``report <design>`` — static C-synthesis report per module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import compile_design, designs
+from .analysis import classify, render_table
+from .errors import DeadlockError, ReproError, UnsupportedDesignError
+from .sim import (
+    CoSimulator,
+    CSimulator,
+    LightningSimulator,
+    OmniSimulator,
+    ThreadedOmniSimulator,
+)
+
+SIMULATORS = {
+    "omnisim": OmniSimulator,
+    "cosim": CoSimulator,
+    "csim": CSimulator,
+    "lightningsim": LightningSimulator,
+    "omnisim-threads": ThreadedOmniSimulator,
+}
+
+
+def _parse_depths(pairs) -> dict:
+    depths = {}
+    for pair in pairs or []:
+        name, _sep, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"--depth expects name=N, got {pair!r}")
+        depths[name] = int(value)
+    return depths
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        (spec.name, spec.design_type, spec.blocking,
+         "cyclic" if spec.cyclic else "acyclic", spec.description)
+        for spec in designs.all_specs()
+    ]
+    print(render_table(
+        ["design", "type", "access", "graph", "description"], rows
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = designs.get(args.design)
+    compiled = compile_design(spec.make())
+    sim_class = SIMULATORS[args.sim]
+    kwargs = {}
+    if args.sim not in ("csim",):
+        kwargs["depths"] = _parse_depths(args.depth)
+    try:
+        result = sim_class(compiled, **kwargs).run()
+    except DeadlockError as exc:
+        print(f"DEADLOCK DETECTED: {exc}")
+        return 2
+    except UnsupportedDesignError as exc:
+        print(f"UNSUPPORTED: {exc}")
+        return 3
+    print(f"design     : {result.design_name}")
+    print(f"simulator  : {result.simulator}")
+    if result.failure:
+        print(f"failure    : {result.failure}")
+    if result.cycles:
+        print(f"cycles     : {result.cycles}")
+    for name, value in sorted(result.scalars.items()):
+        print(f"output     : {name} = {value}")
+    for warning in result.warnings[:10]:
+        print(f"warning    : {warning}")
+    if len(result.warnings) > 10:
+        print(f"           ... and {len(result.warnings) - 10} more")
+    print(f"events     : {result.stats.events}"
+          f"  (queries: {result.stats.queries})")
+    print(f"frontend   : {result.frontend_seconds:.3f} s")
+    print(f"execution  : {result.execute_seconds:.3f} s")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    spec = designs.get(args.design)
+    compiled = compile_design(spec.make())
+    info = classify(compiled)
+    print(f"design          : {spec.name}")
+    print(f"type            : {info.design_type} "
+          f"(registry label: {spec.design_type})")
+    print(f"func sim level  : L{info.func_sim_level}")
+    print(f"perf sim level  : L{info.perf_sim_level}")
+    print(f"cyclic          : {info.cyclic}")
+    print(f"non-blocking    : {info.has_nonblocking}")
+    print(f"infinite loops  : {info.has_infinite_loop}")
+    for reason in info.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    spec = designs.get(args.design)
+    compiled = compile_design(spec.make())
+    rows = []
+    for module in compiled.modules:
+        rows.append((
+            module.name,
+            len(module.function.blocks),
+            module.schedule.total_static_states,
+            str(module.static_latency),
+        ))
+    print(render_table(
+        ["module", "blocks", "fsm states", "static latency"],
+        rows, title=f"C-synthesis report for {spec.name}",
+    ))
+    print("\n('?' = latency not statically determinable; "
+          "run a simulator for dynamic cycles)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="omnisim",
+        description="OmniSim reproduction: simulate HLS dataflow designs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered designs")
+
+    run_parser = sub.add_parser("run", help="simulate a design")
+    run_parser.add_argument("design")
+    run_parser.add_argument("--sim", choices=sorted(SIMULATORS),
+                            default="omnisim")
+    run_parser.add_argument("--depth", action="append", metavar="FIFO=N",
+                            help="override a FIFO depth")
+
+    classify_parser = sub.add_parser("classify",
+                                     help="taxonomy analysis (Type A/B/C)")
+    classify_parser.add_argument("design")
+
+    report_parser = sub.add_parser("report",
+                                   help="static C-synthesis report")
+    report_parser.add_argument("design")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "classify": cmd_classify,
+        "report": cmd_report,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Benchmark design suite: the paper's Table 4 (Type B/C) and Table 5
+(Type A) designs, reimplemented in the Python HLS dialect."""
+
+from .registry import (
+    DesignSpec,
+    all_specs,
+    get,
+    names,
+    table4_specs,
+    table5_specs,
+)
+
+__all__ = [
+    "DesignSpec",
+    "all_specs",
+    "get",
+    "names",
+    "table4_specs",
+    "table5_specs",
+]

@@ -1,0 +1,53 @@
+"""deadlock: a cyclic dataflow designed to deadlock (paper Table 4).
+
+Two tasks each start with a blocking read of a FIFO the *other* task
+writes, so both block forever regardless of FIFO depth.  OmniSim must
+report this immediately instead of hanging (paper section 7.1); co-sim
+detects it when the clock stops making progress; C-sim, with its infinite
+streams and warn-on-empty-read semantics, soldiers on and prints sum = 0
+after 2025 warnings (Table 3).
+"""
+
+from __future__ import annotations
+
+from .. import hls
+from .registry import DesignSpec, register
+
+N = 2025
+
+
+@hls.kernel
+def dl_task_a(from_b: hls.StreamIn(hls.i32), to_b: hls.StreamOut(hls.i32),
+              n: hls.Const(), sum_out: hls.ScalarOut(hls.i32)):
+    total = 0
+    for i in range(n):
+        value = from_b.read()  # blocks forever: B also reads first
+        total += value
+        to_b.write(value + 1)
+    sum_out.set(total)
+
+
+@hls.kernel
+def dl_task_b(from_a: hls.StreamIn(hls.i32), to_a: hls.StreamOut(hls.i32),
+              n: hls.Const()):
+    for i in range(n):
+        value = from_a.read()
+        to_a.write(value + 1)
+
+
+def build_deadlock(n: int = N, depth: int = 2) -> hls.Design:
+    d = hls.Design("deadlock")
+    a_to_b = d.stream("a_to_b", hls.i32, depth=depth)
+    b_to_a = d.stream("b_to_a", hls.i32, depth=depth)
+    sum_out = d.scalar("sum", hls.i32)
+    d.add(dl_task_a, from_b=b_to_a, to_b=a_to_b, n=n, sum_out=sum_out)
+    d.add(dl_task_b, from_a=a_to_b, to_a=b_to_a, n=n)
+    return d
+
+
+register(DesignSpec(
+    name="deadlock", build=build_deadlock, design_type="B",
+    description="Mutual blocking read: true design-level deadlock",
+    blocking="B", cyclic=True, source="table4",
+    expectations={"deadlock": True, "csim_sum": 0},
+))

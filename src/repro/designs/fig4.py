@@ -1,0 +1,408 @@
+"""The dataflow taxonomy examples of the paper's Fig. 4 (Exs. 1-5).
+
+All use N = 2025 and ``data[i] = i+1`` (Ex. 3: ``data[i] = i``) so that the
+reference outputs match the paper's Table 3 exactly where behaviour is
+deterministic: the full sum is 2 051 325 and Ex. 3's doubled sum is
+4 098 600.  Values that depend on exact backpressure timing (the dropped
+counts of Ex. 4) are recorded as measured in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from .. import hls
+from .registry import DesignSpec, register
+
+N = 2025
+
+
+def _input_data(n: int) -> list:
+    return [i + 1 for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Ex. 1 - Type A: basic blocking producer/consumer
+
+@hls.kernel
+def ex1_producer(data: hls.BufferIn(hls.i32, N), n: hls.Const(),
+                 out: hls.StreamOut(hls.i32)):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out.write(data[i])
+
+
+@hls.kernel
+def ex1_consumer(inp: hls.StreamIn(hls.i32), n: hls.Const(),
+                 sum_out: hls.ScalarOut(hls.i32)):
+    total = 0
+    for i in range(n):
+        hls.pipeline(ii=1)
+        total += inp.read()
+    sum_out.set(total)
+
+
+def build_ex1(n: int = N, depth: int = 2) -> hls.Design:
+    d = hls.Design("fig4_ex1")
+    fifo = d.stream("fifo", hls.i32, depth=depth)
+    data = d.buffer("data", hls.i32, N, init=_input_data(N))
+    sum_out = d.scalar("sum_out", hls.i32)
+    d.add(ex1_producer, data=data, n=n, out=fifo)
+    d.add(ex1_consumer, inp=fifo, n=n, sum_out=sum_out)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Ex. 2 - Type B: non-blocking write in an infinite loop + done signal.
+# The producer retries the same element until the write succeeds, so the
+# value stream is invariant; only timing changes (hence Type B).  Under
+# C-sim the done signal never arrives (the consumer has not run yet) and
+# the producer runs off the end of `data`: SIGSEGV, as in Table 3.
+
+@hls.kernel
+def ex2_producer(data: hls.BufferIn(hls.i32, N),
+                 out: hls.StreamOut(hls.i32),
+                 done: hls.StreamIn(hls.i1)):
+    i = 0
+    while True:
+        ok, _ = done.read_nb()
+        if ok:
+            break
+        if out.write_nb(data[i]):
+            i += 1
+
+
+@hls.kernel
+def ex2_consumer(inp: hls.StreamIn(hls.i32), n: hls.Const(),
+                 sum_out: hls.ScalarOut(hls.i32),
+                 done: hls.StreamOut(hls.i1)):
+    total = 0
+    for i in range(n):
+        hls.pipeline(ii=1)
+        total += inp.read()
+    sum_out.set(total)
+    done.write(1)
+
+
+def build_ex2(n: int = N, depth: int = 2) -> hls.Design:
+    d = hls.Design("fig4_ex2")
+    fifo = d.stream("fifo", hls.i32, depth=depth)
+    done = d.stream("done", hls.i1, depth=2)
+    data = d.buffer("data", hls.i32, N, init=_input_data(N))
+    sum_out = d.scalar("sum_out", hls.i32)
+    d.add(ex2_producer, data=data, out=fifo, done=done)
+    d.add(ex2_consumer, inp=fifo, n=n, sum_out=sum_out, done=done)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Ex. 3 - Type B: cyclic dependency over blocking FIFOs.
+# data_in[i] = i, processor doubles: expected sum = 4 098 600.
+# The processor is defined first, exactly like the paper's listing, which
+# is what produces C-sim's 2025 read-while-empty warnings and sum = 0.
+
+@hls.kernel
+def ex3_processor(fifo1: hls.StreamIn(hls.i32),
+                  fifo2: hls.StreamOut(hls.i32), n: hls.Const()):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        value = fifo1.read()
+        fifo2.write(value * 2)
+
+
+@hls.kernel
+def ex3_controller(fifo1: hls.StreamOut(hls.i32),
+                   fifo2: hls.StreamIn(hls.i32),
+                   data_in: hls.BufferIn(hls.i32, N), n: hls.Const(),
+                   sum_out: hls.ScalarOut(hls.i32)):
+    total = 0
+    for i in range(n):
+        fifo1.write(data_in[i])
+        total += fifo2.read()
+    sum_out.set(total)
+
+
+def build_ex3(n: int = N, depth: int = 2) -> hls.Design:
+    d = hls.Design("fig4_ex3")
+    fifo1 = d.stream("fifo1", hls.i32, depth=depth)
+    fifo2 = d.stream("fifo2", hls.i32, depth=depth)
+    data = d.buffer("data_in", hls.i32, N, init=list(range(N)))
+    sum_out = d.scalar("sum", hls.i32)
+    d.add(ex3_processor, fifo1=fifo1, fifo2=fifo2, n=n)
+    d.add(ex3_controller, fifo1=fifo1, fifo2=fifo2, data_in=data, n=n,
+          sum_out=sum_out)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Ex. 4a - Type C: drop silently when the FIFO is full (i++ either way).
+# The consumer is deliberately slower than the producer so backpressure
+# actually drops elements in hardware; C-sim's infinite FIFOs hide this
+# and report the full sum 2 051 325 with zero drops (Table 3).
+
+@hls.kernel
+def ex4a_producer(data: hls.BufferIn(hls.i32, N), n: hls.Const(),
+                  out: hls.StreamOut(hls.i32)):
+    for i in range(n):
+        hls.pipeline(ii=2)
+        out.write_nb(data[i])
+    out.write(0 - 1)  # sentinel: delivered via a blocking write
+
+
+@hls.kernel
+def ex4_consumer(inp: hls.StreamIn(hls.i32),
+                 sum_out: hls.ScalarOut(hls.i32)):
+    total = 0
+    while True:
+        value = inp.read()
+        if value < 0:
+            break
+        # Model a multi-cycle payload computation: the divide keeps each
+        # iteration several cycles long, creating backpressure upstream.
+        total += (value * 3 + value // 3) - (value * 2 + value // 3)
+    sum_out.set(total)
+
+
+def build_ex4a(n: int = N, depth: int = 2) -> hls.Design:
+    d = hls.Design("fig4_ex4a")
+    fifo = d.stream("fifo", hls.i32, depth=depth)
+    data = d.buffer("data", hls.i32, N, init=_input_data(N))
+    sum_out = d.scalar("sum_out", hls.i32)
+    d.add(ex4a_producer, data=data, n=n, out=fifo)
+    d.add(ex4_consumer, inp=fifo, sum_out=sum_out)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Ex. 4b - Type C: like 4a, but failures are counted explicitly.
+
+@hls.kernel
+def ex4b_producer(data: hls.BufferIn(hls.i32, N), n: hls.Const(),
+                  out: hls.StreamOut(hls.i32),
+                  dropped: hls.ScalarOut(hls.i32)):
+    drops = 0
+    for i in range(n):
+        hls.pipeline(ii=2)
+        if out.write_nb(data[i]):
+            pass
+        else:
+            drops += 1
+    out.write(0 - 1)
+    dropped.set(drops)
+
+
+def build_ex4b(n: int = N, depth: int = 2) -> hls.Design:
+    d = hls.Design("fig4_ex4b")
+    fifo = d.stream("fifo", hls.i32, depth=depth)
+    data = d.buffer("data", hls.i32, N, init=_input_data(N))
+    sum_out = d.scalar("sum_out", hls.i32)
+    dropped = d.scalar("Dropped", hls.i32)
+    d.add(ex4b_producer, data=data, n=n, out=fifo, dropped=dropped)
+    d.add(ex4_consumer, inp=fifo, sum_out=sum_out)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Ex. 4a_d / 4b_d - done-signal variants: the producer free-runs in an
+# infinite loop until a done signal arrives (cyclic), the consumer is a
+# polling collector with a fixed poll budget.  Under C-sim the producer
+# runs first, the done signal never arrives, and indexing runs off the end
+# of `data`: SIGSEGV (Table 3).
+
+@hls.kernel
+def ex4a_d_producer(data: hls.BufferIn(hls.i32, N),
+                    out: hls.StreamOut(hls.i32),
+                    done: hls.StreamIn(hls.i1)):
+    i = 0
+    while True:
+        ok, _ = done.read_nb()
+        if ok:
+            break
+        out.write_nb(data[i])
+        i += 1  # advances even when the write is dropped
+
+
+@hls.kernel
+def ex4b_d_producer(data: hls.BufferIn(hls.i32, N),
+                    out: hls.StreamOut(hls.i32),
+                    done: hls.StreamIn(hls.i1),
+                    dropped: hls.ScalarOut(hls.i32)):
+    i = 0
+    drops = 0
+    while True:
+        ok, _ = done.read_nb()
+        if ok:
+            break
+        if out.write_nb(data[i]):
+            pass
+        else:
+            drops += 1
+        i += 1
+    dropped.set(drops)
+
+
+@hls.kernel
+def ex4_d_collector(inp: hls.StreamIn(hls.i32), polls: hls.Const(),
+                    sum_out: hls.ScalarOut(hls.i32),
+                    done: hls.StreamOut(hls.i1)):
+    total = 0
+    count = 0
+    while count < polls:
+        hls.pipeline(ii=8)  # slower than the producer: drops must occur
+        ok, value = inp.read_nb()
+        if ok:
+            total += value
+        count += 1
+    sum_out.set(total)
+    done.write(1)
+
+
+def build_ex4a_d(n: int = N, depth: int = 2, polls: int = N) -> hls.Design:
+    d = hls.Design("fig4_ex4a_d")
+    fifo = d.stream("fifo", hls.i32, depth=depth)
+    done = d.stream("done", hls.i1, depth=2)
+    data = d.buffer("data", hls.i32, N, init=_input_data(N))
+    sum_out = d.scalar("sum_out", hls.i32)
+    d.add(ex4a_d_producer, data=data, out=fifo, done=done)
+    d.add(ex4_d_collector, inp=fifo, polls=polls, sum_out=sum_out,
+          done=done)
+    return d
+
+
+def build_ex4b_d(n: int = N, depth: int = 2, polls: int = N) -> hls.Design:
+    d = hls.Design("fig4_ex4b_d")
+    fifo = d.stream("fifo", hls.i32, depth=depth)
+    done = d.stream("done", hls.i1, depth=2)
+    data = d.buffer("data", hls.i32, N, init=_input_data(N))
+    sum_out = d.scalar("sum_out", hls.i32)
+    dropped = d.scalar("Dropped", hls.i32)
+    d.add(ex4b_d_producer, data=data, out=fifo, done=done, dropped=dropped)
+    d.add(ex4_d_collector, inp=fifo, polls=polls, sum_out=sum_out,
+          done=done)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Ex. 5 - Type C: congestion-aware dispatch.  The controller prefers the
+# fast processor (P1) and overflows to the slow one (P2) only when P1's
+# queue is full.  Service rates are tuned so that in the default
+# configuration P2's queue never fills: increasing FIFO2's depth then
+# leaves every query outcome unchanged (incremental-simulation friendly),
+# while increasing FIFO1's depth re-routes traffic (constraint violation)
+# - the two rows of the paper's Table 6.
+
+@hls.kernel
+def ex5_controller(ins_data: hls.BufferIn(hls.i32, N), n: hls.Const(),
+                   fifo1: hls.StreamOut(hls.i32),
+                   fifo2: hls.StreamOut(hls.i32),
+                   processed_by_p1: hls.ScalarOut(hls.i32),
+                   processed_by_p2: hls.ScalarOut(hls.i32)):
+    i = 0
+    count1 = 0
+    count2 = 0
+    while i < n:
+        if fifo1.write_nb(ins_data[i]):
+            count1 += 1
+            i += 1
+        elif fifo2.write_nb(ins_data[i]):
+            count2 += 1
+            i += 1
+    fifo1.write(0 - 1)
+    fifo2.write(0 - 1)
+    processed_by_p1.set(count1)
+    processed_by_p2.set(count2)
+
+
+@hls.kernel
+def ex5_processor_fast(fifo: hls.StreamIn(hls.i32),
+                       sum_out: hls.ScalarOut(hls.i32)):
+    total = 0
+    while True:
+        hls.pipeline(ii=6)
+        value = fifo.read()
+        if value < 0:
+            break
+        total += value
+    sum_out.set(total)
+
+
+@hls.kernel
+def ex5_processor_slow(fifo: hls.StreamIn(hls.i32),
+                       sum_out: hls.ScalarOut(hls.i32)):
+    total = 0
+    while True:
+        hls.pipeline(ii=12)
+        value = fifo.read()
+        if value < 0:
+            break
+        total += value
+    sum_out.set(total)
+
+
+def build_ex5(n: int = N, depth1: int = 2, depth2: int = 2) -> hls.Design:
+    d = hls.Design("fig4_ex5")
+    fifo1 = d.stream("fifo1", hls.i32, depth=depth1)
+    fifo2 = d.stream("fifo2", hls.i32, depth=depth2)
+    data = d.buffer("ins_data", hls.i32, N, init=_input_data(N))
+    p1 = d.scalar("processed_by_P1", hls.i32)
+    p2 = d.scalar("processed_by_P2", hls.i32)
+    s1 = d.scalar("sum_out_P1", hls.i32)
+    s2 = d.scalar("sum_out_P2", hls.i32)
+    d.add(ex5_controller, ins_data=data, n=n, fifo1=fifo1, fifo2=fifo2,
+          processed_by_p1=p1, processed_by_p2=p2)
+    d.add(ex5_processor_fast, fifo=fifo1, sum_out=s1)
+    d.add(ex5_processor_slow, fifo=fifo2, sum_out=s2)
+    return d
+
+
+# ---------------------------------------------------------------------------
+
+FULL_SUM = sum(_input_data(N))          # 2 051 325
+EX3_SUM = sum(2 * i for i in range(N))  # 4 098 600
+
+register(DesignSpec(
+    name="fig4_ex1", build=build_ex1, design_type="A",
+    description="Blocking producer/consumer (taxonomy baseline)",
+    blocking="B", cyclic=False, source="fig4",
+    expectations={"sum_out": FULL_SUM},
+))
+register(DesignSpec(
+    name="fig4_ex2", build=build_ex2, design_type="B",
+    description="NB FIFO access in infinite loop (done signal)",
+    blocking="NB", cyclic=True, source="table4",
+    expectations={"sum_out": FULL_SUM, "csim": "sigsegv"},
+))
+register(DesignSpec(
+    name="fig4_ex3", build=build_ex3, design_type="B",
+    description="Cyclic dependency over blocking FIFOs",
+    blocking="B", cyclic=True, source="table4",
+    expectations={"sum": EX3_SUM, "csim": "warnings+zero"},
+))
+register(DesignSpec(
+    name="fig4_ex4a", build=build_ex4a, design_type="C",
+    description="Skip (drop) if FIFO full",
+    blocking="NB", cyclic=False, source="table4",
+    expectations={"csim_sum_out": FULL_SUM},
+))
+register(DesignSpec(
+    name="fig4_ex4a_d", build=build_ex4a_d, design_type="C",
+    description="Skip if full (done signal)",
+    blocking="NB", cyclic=True, source="table4",
+    expectations={"csim": "sigsegv"},
+))
+register(DesignSpec(
+    name="fig4_ex4b", build=build_ex4b, design_type="C",
+    description="Count dropped elements",
+    blocking="NB", cyclic=False, source="table4",
+    expectations={"csim_sum_out": FULL_SUM, "csim_Dropped": 0},
+))
+register(DesignSpec(
+    name="fig4_ex4b_d", build=build_ex4b_d, design_type="C",
+    description="Count dropped (done signal)",
+    blocking="NB", cyclic=True, source="table4",
+    expectations={"csim": "sigsegv"},
+))
+register(DesignSpec(
+    name="fig4_ex5", build=build_ex5, design_type="C",
+    description="Congestion-aware select between two processors",
+    blocking="NB", cyclic=False, source="table4",
+    expectations={},
+))

@@ -1,0 +1,144 @@
+"""multicore: sixteen fetch/execute cores with branch feedback (Table 4).
+
+Scales the ``branch`` design to 16 cores (33 modules): a controller
+releases a start token around a command ring, every core runs the
+speculative fetch/execute loop over a shared program buffer, and results
+(fetched/executed counts) flow back to the controller along a result
+chain through the executors.  Under C-sim each fetcher fetches the whole
+program (16 x 2025 = 32400 total), while hardware-accurate simulation
+shows redirects truncating the wrong paths — the paper's Table 3 contrast
+(their run: 32400 vs 15519).
+"""
+
+from __future__ import annotations
+
+from .. import hls
+from .branch import BRANCH_PERIOD, BRANCH_SKIP, HALT, make_program
+from .registry import DesignSpec, register
+
+N = 2025
+CORES = 16
+#: result encoding: fetched * SCALE + executed (both fit comfortably)
+SCALE = 1 << 12
+
+
+@hls.kernel
+def mc_controller(cmd_out: hls.StreamOut(hls.i32),
+                  ring_in: hls.StreamIn(hls.i32),
+                  results_in: hls.StreamIn(hls.i32),
+                  n_cores: hls.Const(),
+                  total_fetched: hls.ScalarOut(hls.i32),
+                  total_executed: hls.ScalarOut(hls.i32)):
+    cmd_out.write(1)          # release the start token
+    token = ring_in.read()    # token made it around the ring
+    fetched = token * 0
+    executed = 0
+    for i in range(n_cores):
+        packed = results_in.read()
+        fetched += packed >> 12
+        executed += packed & 4095
+    total_fetched.set(fetched)
+    total_executed.set(executed)
+
+
+@hls.kernel
+def mc_fetcher(cmd_in: hls.StreamIn(hls.i32),
+               cmd_out: hls.StreamOut(hls.i32),
+               program: hls.BufferIn(hls.i32, N), n: hls.Const(),
+               to_exec: hls.StreamOut(hls.i32),
+               redirect: hls.StreamIn(hls.i32)):
+    token = cmd_in.read()
+    cmd_out.write(token)      # start the next core immediately
+    pc = 0
+    fetched = 0
+    while pc < n:
+        ok, target = redirect.read_nb()
+        if ok:
+            pc = target
+        if pc < n:
+            to_exec.write_nb(program[pc])
+            pc += 1
+            fetched += 1
+    to_exec.write(HALT)
+    to_exec.write(fetched)    # piggy-back the fetch count to the executor
+
+
+@hls.kernel
+def mc_executor(from_fetch: hls.StreamIn(hls.i32),
+                redirect: hls.StreamOut(hls.i32),
+                result_in: hls.StreamIn(hls.i32),
+                result_out: hls.StreamOut(hls.i32),
+                period: hls.Const(), skip: hls.Const(),
+                upstream: hls.Const()):
+    executed = 0
+    while True:
+        instr = from_fetch.read()
+        if instr < 0:
+            break
+        if instr % period == 0:
+            executed += 1
+            redirect.write_nb(instr + skip)
+    fetched = from_fetch.read()
+    result_out.write(fetched * 4096 + executed)
+    for i in range(upstream):
+        result_out.write(result_in.read())
+
+
+@hls.kernel
+def mc_executor_first(from_fetch: hls.StreamIn(hls.i32),
+                      redirect: hls.StreamOut(hls.i32),
+                      result_out: hls.StreamOut(hls.i32),
+                      period: hls.Const(), skip: hls.Const()):
+    executed = 0
+    while True:
+        instr = from_fetch.read()
+        if instr < 0:
+            break
+        if instr % period == 0:
+            executed += 1
+            redirect.write_nb(instr + skip)
+    fetched = from_fetch.read()
+    result_out.write(fetched * 4096 + executed)
+
+
+def build_multicore(n: int = N, cores: int = CORES,
+                    depth: int = 2) -> hls.Design:
+    d = hls.Design("multicore")
+    program = d.buffer("program", hls.i32, N, init=make_program(N))
+    total_fetched = d.scalar("total_fetched", hls.i32)
+    total_executed = d.scalar("total_executed", hls.i32)
+
+    cmd = [d.stream(f"cmd{k}", hls.i32, depth=2) for k in range(cores + 1)]
+    instr = [d.stream(f"instr{k}", hls.i32, depth=depth)
+             for k in range(cores)]
+    redirect = [d.stream(f"redirect{k}", hls.i32, depth=depth)
+                for k in range(cores)]
+    results = [d.stream(f"result{k}", hls.i32, depth=2)
+               for k in range(cores)]
+
+    d.add(mc_controller, cmd_out=cmd[0], ring_in=cmd[cores],
+          results_in=results[cores - 1], n_cores=cores,
+          total_fetched=total_fetched, total_executed=total_executed)
+    for k in range(cores):
+        d.add(mc_fetcher, instance_name=f"fetcher{k}",
+              cmd_in=cmd[k], cmd_out=cmd[k + 1], program=program, n=n,
+              to_exec=instr[k], redirect=redirect[k])
+        if k == 0:
+            d.add(mc_executor_first, instance_name="executor0",
+                  from_fetch=instr[0], redirect=redirect[0],
+                  result_out=results[0], period=BRANCH_PERIOD,
+                  skip=BRANCH_SKIP)
+        else:
+            d.add(mc_executor, instance_name=f"executor{k}",
+                  from_fetch=instr[k], redirect=redirect[k],
+                  result_in=results[k - 1], result_out=results[k],
+                  period=BRANCH_PERIOD, skip=BRANCH_SKIP, upstream=k)
+    return d
+
+
+register(DesignSpec(
+    name="multicore", build=build_multicore, design_type="C",
+    description="16 speculative cores with branch feedback",
+    blocking="NB", cyclic=True, source="table4",
+    expectations={"csim_total_fetched": CORES * N},
+))

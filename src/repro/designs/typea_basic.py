@@ -1,0 +1,683 @@
+"""Type A designs 1-22 of the paper's Table 5: the Vitis HLS basic
+examples that LightningSimV2 benchmarks against.
+
+Each design is a compact but faithful analogue of the original example:
+same computational pattern, same interface style (buffers, streams, AXI),
+sized so the whole suite runs in seconds.  All are Type A (blocking-only,
+acyclic), so both LightningSim and OmniSim can simulate them — these are
+the rows where the paper shows OmniSim's coupled architecture is *not* a
+compromise (Table 5).
+"""
+
+from __future__ import annotations
+
+from .. import hls
+from .registry import DesignSpec, register
+
+
+def _register_a(name: str, build, description: str) -> None:
+    register(DesignSpec(
+        name=name, build=build, design_type="A", description=description,
+        blocking="B", cyclic=False, source="table5",
+    ))
+
+
+# --- 1. Fixed-point square root (Newton-Raphson) ---------------------------
+
+FX = hls.fixed(32, 16)
+
+
+@hls.kernel
+def fxp_sqrt_kernel(values: hls.BufferIn(FX, 64),
+                    results: hls.BufferOut(FX, 64), n: hls.Const()):
+    for i in range(n):
+        x = values[i]
+        guess = hls.cast(hls.fixed(32, 16), 1.0)
+        if x > guess:
+            guess = x
+        for it in range(12):
+            hls.pipeline(ii=2)
+            guess = (guess + x / guess) / 2
+        results[i] = guess
+
+
+def build_fxp_sqrt(n: int = 64) -> hls.Design:
+    d = hls.Design("fxp_sqrt")
+    values = d.buffer("values", FX, 64,
+                      init=[float(i % 97 + 1) for i in range(64)])
+    results = d.buffer("results", FX, 64)
+    d.add(fxp_sqrt_kernel, values=values, results=results, n=n)
+    return d
+
+
+_register_a("fxp_sqrt", build_fxp_sqrt,
+            "Fixed-point square root (Newton iterations)")
+
+
+# --- 2. FIR filter ----------------------------------------------------------
+
+TAPS = 16
+
+
+@hls.kernel
+def fir_kernel(samples: hls.BufferIn(hls.i32, 512),
+               coeffs: hls.BufferIn(hls.i32, TAPS),
+               output: hls.BufferOut(hls.i32, 512), n: hls.Const()):
+    shift_reg = hls.array(hls.i32, TAPS)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        acc = 0
+        for t in range(TAPS - 1, 0, -1):
+            hls.unroll()
+            shift_reg[t] = shift_reg[t - 1]
+            acc += shift_reg[t] * coeffs[t]
+        shift_reg[0] = samples[i]
+        acc += samples[i] * coeffs[0]
+        output[i] = acc
+
+
+def build_fir(n: int = 512) -> hls.Design:
+    d = hls.Design("fir_filter")
+    samples = d.buffer("samples", hls.i32, 512,
+                       init=[(i * 7) % 100 - 50 for i in range(512)])
+    coeffs = d.buffer("coeffs", hls.i32, TAPS,
+                      init=[1, 2, 3, 4, 5, 6, 7, 8, 8, 7, 6, 5, 4, 3, 2, 1])
+    output = d.buffer("output", hls.i32, 512)
+    d.add(fir_kernel, samples=samples, coeffs=coeffs, output=output, n=n)
+    return d
+
+
+_register_a("fir_filter", build_fir, "FIR filter with a shift register")
+
+
+# --- 3/4. Window convolution, fixed-point and floating-point --------------
+
+@hls.kernel
+def window_conv_fixed(image: hls.BufferIn(FX, 1024),
+                      kernel3: hls.BufferIn(FX, 9),
+                      out: hls.BufferOut(FX, 1024),
+                      rows: hls.Const(), cols: hls.Const()):
+    for r in range(1, rows - 1):
+        for c in range(1, cols - 1):
+            hls.pipeline(ii=2)
+            acc = hls.cast(hls.fixed(32, 16), 0.0)
+            for kr in range(3):
+                hls.unroll()
+                for kc in range(3):
+                    hls.unroll()
+                    acc += (image[(r + kr - 1) * cols + (c + kc - 1)]
+                            * kernel3[kr * 3 + kc])
+            out[r * cols + c] = acc
+
+
+def build_window_conv_fixed(rows: int = 32, cols: int = 32) -> hls.Design:
+    d = hls.Design("window_conv_fixed")
+    image = d.buffer("image", FX, 1024,
+                     init=[float((i * 13) % 31) for i in range(1024)])
+    kernel3 = d.buffer("kernel3", FX, 9,
+                       init=[0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125,
+                             0.0625, 0.125, 0.0625])
+    out = d.buffer("out", FX, 1024)
+    d.add(window_conv_fixed, image=image, kernel3=kernel3, out=out,
+          rows=rows, cols=cols)
+    return d
+
+
+_register_a("window_conv_fixed", build_window_conv_fixed,
+            "3x3 window convolution, fixed-point")
+
+
+@hls.kernel
+def window_conv_float(image: hls.BufferIn(hls.f32, 1024),
+                      kernel3: hls.BufferIn(hls.f32, 9),
+                      out: hls.BufferOut(hls.f32, 1024),
+                      rows: hls.Const(), cols: hls.Const()):
+    for r in range(1, rows - 1):
+        for c in range(1, cols - 1):
+            hls.pipeline(ii=4)
+            acc = 0.0
+            for kr in range(3):
+                hls.unroll()
+                for kc in range(3):
+                    hls.unroll()
+                    acc += (image[(r + kr - 1) * cols + (c + kc - 1)]
+                            * kernel3[kr * 3 + kc])
+            out[r * cols + c] = acc
+
+
+def build_window_conv_float(rows: int = 32, cols: int = 32) -> hls.Design:
+    d = hls.Design("window_conv_float")
+    image = d.buffer("image", hls.f32, 1024,
+                     init=[float((i * 13) % 31) for i in range(1024)])
+    kernel3 = d.buffer("kernel3", hls.f32, 9,
+                       init=[0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125,
+                             0.0625, 0.125, 0.0625])
+    out = d.buffer("out", hls.f32, 1024)
+    d.add(window_conv_float, image=image, kernel3=kernel3, out=out,
+          rows=rows, cols=cols)
+    return d
+
+
+_register_a("window_conv_float", build_window_conv_float,
+            "3x3 window convolution, floating-point")
+
+
+# --- 5. Arbitrary-precision ALU ---------------------------------------------
+
+I48 = hls.int_type(48)
+
+
+@hls.kernel
+def ap_alu_kernel(a_in: hls.BufferIn(I48, 128), b_in: hls.BufferIn(I48, 128),
+                  ops: hls.BufferIn(hls.i8, 128),
+                  result: hls.BufferOut(I48, 128), n: hls.Const()):
+    for i in range(n):
+        hls.pipeline(ii=2)
+        a = a_in[i]
+        b = b_in[i]
+        op = ops[i]
+        r = a + b
+        if op == 1:
+            r = a - b
+        elif op == 2:
+            r = a * b
+        elif op == 3:
+            r = a & b
+        elif op == 4:
+            r = a | b
+        result[i] = r
+
+
+def build_ap_alu(n: int = 128) -> hls.Design:
+    d = hls.Design("ap_alu")
+    a = d.buffer("a_in", I48, 128, init=[i * 1001 for i in range(128)])
+    b = d.buffer("b_in", I48, 128, init=[i * 77 + 3 for i in range(128)])
+    ops = d.buffer("ops", hls.i8, 128, init=[i % 5 for i in range(128)])
+    result = d.buffer("result", I48, 128)
+    d.add(ap_alu_kernel, a_in=a, b_in=b, ops=ops, result=result, n=n)
+    return d
+
+
+_register_a("ap_alu", build_ap_alu, "Arbitrary-precision (48-bit) ALU")
+
+
+# --- 6-10. Loop-structure examples -----------------------------------------
+
+@hls.kernel
+def parallel_loops_kernel(data: hls.BufferIn(hls.i32, 256),
+                          out_a: hls.ScalarOut(hls.i32),
+                          out_b: hls.ScalarOut(hls.i32), n: hls.Const()):
+    acc_a = 0
+    for i in range(n):
+        hls.pipeline(ii=1)
+        acc_a += data[i] * 2
+    acc_b = 0
+    for j in range(n):
+        hls.pipeline(ii=1)
+        acc_b += data[j] * 3
+    out_a.set(acc_a)
+    out_b.set(acc_b)
+
+
+def build_parallel_loops(n: int = 256) -> hls.Design:
+    d = hls.Design("parallel_loops")
+    data = d.buffer("data", hls.i32, 256, init=list(range(256)))
+    a = d.scalar("out_a", hls.i32)
+    b = d.scalar("out_b", hls.i32)
+    d.add(parallel_loops_kernel, data=data, out_a=a, out_b=b, n=n)
+    return d
+
+
+_register_a("parallel_loops", build_parallel_loops,
+            "Two independent loops over the same data")
+
+
+@hls.kernel
+def imperfect_loops_kernel(data: hls.BufferIn(hls.i32, 256),
+                           out: hls.BufferOut(hls.i32, 16),
+                           rows: hls.Const(), cols: hls.Const()):
+    for r in range(rows):
+        row_sum = data[r * cols]  # prologue before the inner loop
+        for c in range(1, cols):
+            hls.pipeline(ii=1)
+            row_sum += data[r * cols + c]
+        out[r] = row_sum
+
+
+def build_imperfect_loops(rows: int = 16, cols: int = 16) -> hls.Design:
+    d = hls.Design("imperfect_loops")
+    data = d.buffer("data", hls.i32, 256, init=list(range(256)))
+    out = d.buffer("out", hls.i32, 16)
+    d.add(imperfect_loops_kernel, data=data, out=out, rows=rows, cols=cols)
+    return d
+
+
+_register_a("imperfect_loops", build_imperfect_loops,
+            "Imperfect loop nest with per-row prologue")
+
+
+@hls.kernel
+def loop_max_bound_kernel(data: hls.BufferIn(hls.i32, 256),
+                          bounds: hls.BufferIn(hls.i32, 16),
+                          out: hls.BufferOut(hls.i32, 16),
+                          rows: hls.Const(), cols: hls.Const()):
+    for r in range(rows):
+        bound = min(bounds[r], cols)  # variable bound, static max
+        acc = 0
+        for c in range(bound):
+            hls.pipeline(ii=1)
+            hls.trip_count(16)
+            acc += data[r * cols + c]
+        out[r] = acc
+
+
+def build_loop_max_bound(rows: int = 16, cols: int = 16) -> hls.Design:
+    d = hls.Design("loop_max_bound")
+    data = d.buffer("data", hls.i32, 256, init=list(range(256)))
+    bounds = d.buffer("bounds", hls.i32, 16,
+                      init=[(i * 5) % 17 for i in range(16)])
+    out = d.buffer("out", hls.i32, 16)
+    d.add(loop_max_bound_kernel, data=data, bounds=bounds, out=out,
+          rows=rows, cols=cols)
+    return d
+
+
+_register_a("loop_max_bound", build_loop_max_bound,
+            "Variable loop bound with a static maximum")
+
+
+@hls.kernel
+def perfect_nested_kernel(data: hls.BufferIn(hls.i32, 1024),
+                          total: hls.ScalarOut(hls.i64),
+                          rows: hls.Const(), cols: hls.Const()):
+    acc = hls.cast(hls.i64, 0)
+    for r in range(rows):
+        for c in range(cols):
+            hls.pipeline(ii=1)
+            acc += data[r * cols + c]
+    total.set(acc)
+
+
+def build_perfect_nested(rows: int = 32, cols: int = 32) -> hls.Design:
+    d = hls.Design("perfect_nested")
+    data = d.buffer("data", hls.i32, 1024, init=list(range(1024)))
+    total = d.scalar("total", hls.i64)
+    d.add(perfect_nested_kernel, data=data, total=total, rows=rows,
+          cols=cols)
+    return d
+
+
+_register_a("perfect_nested", build_perfect_nested,
+            "Perfect 2D loop nest accumulation")
+
+
+@hls.kernel
+def pipelined_nested_kernel(data: hls.BufferIn(hls.i32, 1024),
+                            out: hls.BufferOut(hls.i32, 1024),
+                            rows: hls.Const(), cols: hls.Const()):
+    for r in range(rows):
+        offset = r * cols
+        for c in range(cols):
+            hls.pipeline(ii=1)
+            out[offset + c] = data[offset + c] * (r + 1)
+
+
+def build_pipelined_nested(rows: int = 32, cols: int = 32) -> hls.Design:
+    d = hls.Design("pipelined_nested")
+    data = d.buffer("data", hls.i32, 1024, init=list(range(1024)))
+    out = d.buffer("out", hls.i32, 1024)
+    d.add(pipelined_nested_kernel, data=data, out=out, rows=rows, cols=cols)
+    return d
+
+
+_register_a("pipelined_nested", build_pipelined_nested,
+            "Nested loops with a pipelined inner loop")
+
+
+# --- 11-13. Accumulator examples --------------------------------------------
+
+@hls.kernel
+def sequential_accumulators_kernel(data: hls.BufferIn(hls.i32, 512),
+                                   evens: hls.ScalarOut(hls.i32),
+                                   odds: hls.ScalarOut(hls.i32),
+                                   n: hls.Const()):
+    acc_even = 0
+    acc_odd = 0
+    for i in range(n):
+        hls.pipeline(ii=1)
+        value = data[i]
+        if i % 2 == 0:
+            acc_even += value
+        else:
+            acc_odd += value
+    evens.set(acc_even)
+    odds.set(acc_odd)
+
+
+def build_sequential_accumulators(n: int = 512) -> hls.Design:
+    d = hls.Design("sequential_accumulators")
+    data = d.buffer("data", hls.i32, 512, init=list(range(512)))
+    evens = d.scalar("evens", hls.i32)
+    odds = d.scalar("odds", hls.i32)
+    d.add(sequential_accumulators_kernel, data=data, evens=evens,
+          odds=odds, n=n)
+    return d
+
+
+_register_a("sequential_accumulators", build_sequential_accumulators,
+            "Two accumulators updated in one pipelined loop")
+
+
+@hls.kernel
+def accumulators_asserts_kernel(data: hls.BufferIn(hls.i32, 512),
+                                total: hls.ScalarOut(hls.i64),
+                                n: hls.Const()):
+    assert n > 0, "n must be positive"
+    acc = hls.cast(hls.i64, 0)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        value = data[i]
+        assert value >= 0, "inputs must be non-negative"
+        acc += value
+    total.set(acc)
+
+
+def build_accumulators_asserts(n: int = 512) -> hls.Design:
+    d = hls.Design("accumulators_asserts")
+    data = d.buffer("data", hls.i32, 512, init=list(range(512)))
+    total = d.scalar("total", hls.i64)
+    d.add(accumulators_asserts_kernel, data=data, total=total, n=n)
+    return d
+
+
+_register_a("accumulators_asserts", build_accumulators_asserts,
+            "Accumulator loop with assertions")
+
+
+@hls.kernel
+def accdf_producer(data: hls.BufferIn(hls.i32, 512), n: hls.Const(),
+                   out: hls.StreamOut(hls.i32)):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out.write(data[i])
+
+
+@hls.kernel
+def accdf_consumer(inp: hls.StreamIn(hls.i32), n: hls.Const(),
+                   total: hls.ScalarOut(hls.i64)):
+    acc = hls.cast(hls.i64, 0)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        acc += inp.read()
+    total.set(acc)
+
+
+def build_accumulators_dataflow(n: int = 512) -> hls.Design:
+    d = hls.Design("accumulators_dataflow")
+    data = d.buffer("data", hls.i32, 512, init=list(range(512)))
+    stream = d.stream("acc_stream", hls.i32, depth=4)
+    total = d.scalar("total", hls.i64)
+    d.add(accdf_producer, data=data, n=n, out=stream)
+    d.add(accdf_consumer, inp=stream, n=n, total=total)
+    return d
+
+
+_register_a("accumulators_dataflow", build_accumulators_dataflow,
+            "Accumulator split into a two-task dataflow")
+
+
+# --- 14-16. Memory-idiom examples ------------------------------------------
+
+@hls.kernel
+def static_memory_kernel(inp: hls.BufferIn(hls.i32, 64),
+                         out: hls.BufferOut(hls.i32, 64), n: hls.Const()):
+    lut = hls.array(hls.i32, 8, [1, 2, 4, 8, 16, 32, 64, 128])
+    history = hls.array(hls.i32, 64)
+    for i in range(n):
+        hls.pipeline(ii=2)
+        value = inp[i] + lut[i % 8] + history[i]
+        history[i] = value
+        out[i] = value
+
+
+def build_static_memory(n: int = 64) -> hls.Design:
+    d = hls.Design("static_memory")
+    inp = d.buffer("inp", hls.i32, 64, init=list(range(64)))
+    out = d.buffer("out", hls.i32, 64)
+    d.add(static_memory_kernel, inp=inp, out=out, n=n)
+    return d
+
+
+_register_a("static_memory", build_static_memory,
+            "Static ROM lookup plus a local history array")
+
+
+@hls.kernel
+def pointer_casting_kernel(values: hls.BufferIn(hls.f32, 128),
+                           out: hls.BufferOut(hls.i32, 128),
+                           n: hls.Const()):
+    for i in range(n):
+        hls.pipeline(ii=2)
+        # Reinterpret-style manipulation: scale into fixed point, then
+        # treat the raw bits as an integer (ap_fixed <-> ap_int casting).
+        fx = hls.cast(hls.fixed(32, 16), values[i])
+        raw = hls.cast(hls.i32, fx * 256)
+        out[i] = raw ^ (raw >> 4)
+
+
+def build_pointer_casting(n: int = 128) -> hls.Design:
+    d = hls.Design("pointer_casting")
+    values = d.buffer("values", hls.f32, 128,
+                      init=[float(i) * 0.37 for i in range(128)])
+    out = d.buffer("out", hls.i32, 128)
+    d.add(pointer_casting_kernel, values=values, out=out, n=n)
+    return d
+
+
+_register_a("pointer_casting", build_pointer_casting,
+            "Numeric reinterpretation (pointer-casting idiom)")
+
+
+@hls.kernel
+def double_pointer_kernel(index_table: hls.BufferIn(hls.i32, 64),
+                          data: hls.BufferIn(hls.i32, 256),
+                          out: hls.BufferOut(hls.i32, 64), n: hls.Const()):
+    for i in range(n):
+        hls.pipeline(ii=2)
+        out[i] = data[index_table[i]]
+
+
+def build_double_pointer(n: int = 64) -> hls.Design:
+    d = hls.Design("double_pointer")
+    index = d.buffer("index_table", hls.i32, 64,
+                     init=[(i * 37) % 256 for i in range(64)])
+    data = d.buffer("data", hls.i32, 256, init=list(range(256)))
+    out = d.buffer("out", hls.i32, 64)
+    d.add(double_pointer_kernel, index_table=index, data=data, out=out, n=n)
+    return d
+
+
+_register_a("double_pointer", build_double_pointer,
+            "Indirect (double-pointer) array access")
+
+
+# --- 17-18. Interface examples ----------------------------------------------
+
+@hls.kernel
+def axi4_master_kernel(mem: hls.AxiMaster(hls.i32), n: hls.Const(),
+                       total: hls.ScalarOut(hls.i64)):
+    buf = hls.array(hls.i32, 64)
+    mem.read_req(0, n)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        buf[i] = mem.read()
+    acc = hls.cast(hls.i64, 0)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        acc += buf[i] * 2
+    mem.write_req(64, n)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        mem.write(buf[i] * 2)
+    mem.write_resp()
+    total.set(acc)
+
+
+def build_axi4_master(n: int = 64) -> hls.Design:
+    d = hls.Design("axi4_master")
+    mem = d.axi("mem", hls.i32, 256, init=list(range(64)))
+    total = d.scalar("total", hls.i64)
+    d.add(axi4_master_kernel, mem=mem, n=n, total=total)
+    return d
+
+
+_register_a("axi4_master", build_axi4_master,
+            "AXI4 master burst read / compute / burst write")
+
+
+@hls.kernel
+def axis_source(data: hls.BufferIn(hls.i32, 256), n: hls.Const(),
+                out: hls.StreamOut(hls.i32)):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out.write(data[i])
+
+
+@hls.kernel
+def axis_scale(inp: hls.StreamIn(hls.i32), n: hls.Const(),
+               out: hls.StreamOut(hls.i32)):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out.write(inp.read() * 5)
+
+
+@hls.kernel
+def axis_sink(inp: hls.StreamIn(hls.i32), n: hls.Const(),
+              out: hls.BufferOut(hls.i32, 256)):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out[i] = inp.read()
+
+
+def build_axis_no_side_channel(n: int = 256) -> hls.Design:
+    d = hls.Design("axis_no_side_channel")
+    data = d.buffer("data", hls.i32, 256, init=list(range(256)))
+    out = d.buffer("out", hls.i32, 256)
+    s1 = d.stream("s1", hls.i32, depth=2)
+    s2 = d.stream("s2", hls.i32, depth=2)
+    d.add(axis_source, data=data, n=n, out=s1)
+    d.add(axis_scale, inp=s1, n=n, out=s2)
+    d.add(axis_sink, inp=s2, n=n, out=out)
+    return d
+
+
+_register_a("axis_no_side_channel", build_axis_no_side_channel,
+            "AXI-stream pipeline without side channels")
+
+
+# --- 19-21. Array-access examples -------------------------------------------
+
+@hls.kernel
+def multiple_array_access_kernel(data: hls.BufferIn(hls.i32, 256),
+                                 out: hls.BufferOut(hls.i32, 256),
+                                 n: hls.Const()):
+    # Four reads of the same single-ported array per iteration: the
+    # scheduler must serialize them, lengthening the II (the point of the
+    # original example).
+    for i in range(2, n - 2):
+        hls.pipeline(ii=4)
+        out[i] = data[i - 2] + data[i - 1] + data[i + 1] + data[i + 2]
+
+
+def build_multiple_array_access(n: int = 256) -> hls.Design:
+    d = hls.Design("multiple_array_access")
+    data = d.buffer("data", hls.i32, 256, init=list(range(256)))
+    out = d.buffer("out", hls.i32, 256)
+    d.add(multiple_array_access_kernel, data=data, out=out, n=n)
+    return d
+
+
+_register_a("multiple_array_access", build_multiple_array_access,
+            "Port-limited multiple accesses to one array")
+
+
+@hls.kernel
+def resolved_array_access_kernel(even: hls.BufferIn(hls.i32, 128),
+                                 odd: hls.BufferIn(hls.i32, 128),
+                                 out: hls.BufferOut(hls.i32, 256),
+                                 n: hls.Const()):
+    # Same computation with the array split across two banks: accesses no
+    # longer conflict and the loop sustains II=1.
+    for i in range(1, n - 1):
+        hls.pipeline(ii=1)
+        out[i] = even[i >> 1] + odd[i >> 1]
+
+
+def build_resolved_array_access(n: int = 256) -> hls.Design:
+    d = hls.Design("resolved_array_access")
+    even = d.buffer("even", hls.i32, 128,
+                    init=[2 * i for i in range(128)])
+    odd = d.buffer("odd", hls.i32, 128,
+                   init=[2 * i + 1 for i in range(128)])
+    out = d.buffer("out", hls.i32, 256)
+    d.add(resolved_array_access_kernel, even=even, odd=odd, out=out, n=n)
+    return d
+
+
+_register_a("resolved_array_access", build_resolved_array_access,
+            "Bank-split arrays resolving the access conflict")
+
+
+@hls.kernel
+def uram_ecc_kernel(updates: hls.BufferIn(hls.i32, 512),
+                    table: hls.BufferOut(hls.i32, 4096),
+                    n: hls.Const()):
+    # Read-modify-write against a deep (URAM-like) table; the dependent
+    # load-store pair bounds the achievable II.
+    for i in range(n):
+        hls.pipeline(ii=3)
+        addr = (updates[i] * 31) % 4096
+        table[addr] = table[addr] + updates[i]
+
+
+def build_uram_ecc(n: int = 512) -> hls.Design:
+    d = hls.Design("uram_ecc")
+    updates = d.buffer("updates", hls.i32, 512,
+                       init=[(i * 97) % 1000 for i in range(512)])
+    table = d.buffer("table", hls.i32, 4096)
+    d.add(uram_ecc_kernel, updates=updates, table=table, n=n)
+    return d
+
+
+_register_a("uram_ecc", build_uram_ecc,
+            "Deep-memory read-modify-write (URAM with ECC)")
+
+
+# --- 22. Fixed-point Hamming window ------------------------------------------
+
+@hls.kernel
+def hamming_kernel(samples: hls.BufferIn(FX, 256),
+                   window: hls.BufferIn(FX, 256),
+                   out: hls.BufferOut(FX, 256), n: hls.Const()):
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out[i] = samples[i] * window[i]
+
+
+def build_hamming(n: int = 256) -> hls.Design:
+    d = hls.Design("fixed_hamming")
+    # Precomputed Hamming coefficients (quantized at design-build time).
+    import math
+
+    coeffs = [0.54 - 0.46 * math.cos(2 * math.pi * i / 255)
+              for i in range(256)]
+    samples = d.buffer("samples", FX, 256,
+                       init=[float((i * 3) % 17) for i in range(256)])
+    window = d.buffer("window", FX, 256, init=coeffs)
+    out = d.buffer("out", FX, 256)
+    d.add(hamming_kernel, samples=samples, window=window, out=out, n=n)
+    return d
+
+
+_register_a("fixed_hamming", build_hamming,
+            "Fixed-point Hamming window application")

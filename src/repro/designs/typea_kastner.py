@@ -1,0 +1,402 @@
+"""Type A designs 23-27 of the paper's Table 5: kernels from Kastner et
+al., "Parallel Programming for FPGAs" — FFT (two variants), Huffman
+encoding, matrix multiplication, and parallelized merge sort.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import hls
+from .registry import DesignSpec, register
+
+
+def _register_a(name: str, build, description: str) -> None:
+    register(DesignSpec(
+        name=name, build=build, design_type="A", description=description,
+        blocking="B", cyclic=False, source="table5",
+    ))
+
+
+# --- 23. Unoptimized FFT ------------------------------------------------------
+
+FFT_SIZE = 64
+FFT_STAGES = 6
+
+
+@hls.kernel
+def fft_unoptimized_kernel(real_in: hls.BufferIn(hls.f32, FFT_SIZE),
+                           imag_in: hls.BufferIn(hls.f32, FFT_SIZE),
+                           tw_real: hls.BufferIn(hls.f32, FFT_SIZE),
+                           tw_imag: hls.BufferIn(hls.f32, FFT_SIZE),
+                           real_out: hls.BufferOut(hls.f32, FFT_SIZE),
+                           imag_out: hls.BufferOut(hls.f32, FFT_SIZE),
+                           size: hls.Const(), stages: hls.Const()):
+    # Bit-reverse reorder.
+    for i in range(size):
+        hls.pipeline(ii=2)
+        rev = 0
+        x = i
+        for b in range(6):
+            hls.unroll()
+            rev = (rev << 1) | (x & 1)
+            x = x >> 1
+        real_out[rev] = real_in[i]
+        imag_out[rev] = imag_in[i]
+    # Butterfly stages, in place.
+    for stage in range(stages):
+        span = 1 << stage
+        for pair in range(size // 2):
+            hls.pipeline(ii=4)
+            group = pair // span
+            member = pair % span
+            top = group * span * 2 + member
+            bottom = top + span
+            tw_index = member * (size // (span * 2))
+            wr = tw_real[tw_index]
+            wi = tw_imag[tw_index]
+            br = real_out[bottom] * wr - imag_out[bottom] * wi
+            bi = real_out[bottom] * wi + imag_out[bottom] * wr
+            ar = real_out[top]
+            ai = imag_out[top]
+            real_out[top] = ar + br
+            imag_out[top] = ai + bi
+            real_out[bottom] = ar - br
+            imag_out[bottom] = ai - bi
+
+
+def _fft_inputs():
+    real = [math.cos(2 * math.pi * 3 * i / FFT_SIZE) for i in range(FFT_SIZE)]
+    imag = [0.0] * FFT_SIZE
+    tw_real = [math.cos(-2 * math.pi * k / FFT_SIZE)
+               for k in range(FFT_SIZE)]
+    tw_imag = [math.sin(-2 * math.pi * k / FFT_SIZE)
+               for k in range(FFT_SIZE)]
+    return real, imag, tw_real, tw_imag
+
+
+def build_fft_unoptimized() -> hls.Design:
+    d = hls.Design("fft_unoptimized")
+    real, imag, twr, twi = _fft_inputs()
+    real_in = d.buffer("real_in", hls.f32, FFT_SIZE, init=real)
+    imag_in = d.buffer("imag_in", hls.f32, FFT_SIZE, init=imag)
+    tw_real = d.buffer("tw_real", hls.f32, FFT_SIZE, init=twr)
+    tw_imag = d.buffer("tw_imag", hls.f32, FFT_SIZE, init=twi)
+    real_out = d.buffer("real_out", hls.f32, FFT_SIZE)
+    imag_out = d.buffer("imag_out", hls.f32, FFT_SIZE)
+    d.add(fft_unoptimized_kernel, real_in=real_in, imag_in=imag_in,
+          tw_real=tw_real, tw_imag=tw_imag, real_out=real_out,
+          imag_out=imag_out, size=FFT_SIZE, stages=FFT_STAGES)
+    return d
+
+
+_register_a("fft_unoptimized", build_fft_unoptimized,
+            "In-place radix-2 FFT, single kernel")
+
+
+# --- 24. Multi-stage (dataflow) FFT ------------------------------------------
+
+@hls.kernel
+def fft_stage_reorder(real_in: hls.BufferIn(hls.f32, FFT_SIZE),
+                      imag_in: hls.BufferIn(hls.f32, FFT_SIZE),
+                      size: hls.Const(),
+                      out_r: hls.StreamOut(hls.f32),
+                      out_i: hls.StreamOut(hls.f32)):
+    for i in range(size):
+        hls.pipeline(ii=2)
+        rev = 0
+        x = i
+        for b in range(6):
+            hls.unroll()
+            rev = (rev << 1) | (x & 1)
+            x = x >> 1
+        # Stream elements in bit-reversed order by reading reversed index.
+        out_r.write(real_in[rev])
+        out_i.write(imag_in[rev])
+
+
+@hls.kernel
+def fft_stage_butterfly(in_r: hls.StreamIn(hls.f32),
+                        in_i: hls.StreamIn(hls.f32),
+                        tw_real: hls.BufferIn(hls.f32, FFT_SIZE),
+                        tw_imag: hls.BufferIn(hls.f32, FFT_SIZE),
+                        size: hls.Const(), stage: hls.Const(),
+                        out_r: hls.StreamOut(hls.f32),
+                        out_i: hls.StreamOut(hls.f32)):
+    buf_r = hls.array(hls.f32, FFT_SIZE)
+    buf_i = hls.array(hls.f32, FFT_SIZE)
+    for i in range(size):
+        hls.pipeline(ii=1)
+        buf_r[i] = in_r.read()
+        buf_i[i] = in_i.read()
+    span = 1 << stage
+    for pair in range(size // 2):
+        hls.pipeline(ii=4)
+        group = pair // span
+        member = pair % span
+        top = group * span * 2 + member
+        bottom = top + span
+        tw_index = member * (size // (span * 2))
+        wr = tw_real[tw_index]
+        wi = tw_imag[tw_index]
+        br = buf_r[bottom] * wr - buf_i[bottom] * wi
+        bi = buf_r[bottom] * wi + buf_i[bottom] * wr
+        ar = buf_r[top]
+        ai = buf_i[top]
+        buf_r[top] = ar + br
+        buf_i[top] = ai + bi
+        buf_r[bottom] = ar - br
+        buf_i[bottom] = ai - bi
+    for i in range(size):
+        hls.pipeline(ii=1)
+        out_r.write(buf_r[i])
+        out_i.write(buf_i[i])
+
+
+@hls.kernel
+def fft_stage_sink(in_r: hls.StreamIn(hls.f32), in_i: hls.StreamIn(hls.f32),
+                   size: hls.Const(),
+                   real_out: hls.BufferOut(hls.f32, FFT_SIZE),
+                   imag_out: hls.BufferOut(hls.f32, FFT_SIZE)):
+    for i in range(size):
+        hls.pipeline(ii=1)
+        real_out[i] = in_r.read()
+        imag_out[i] = in_i.read()
+
+
+def build_fft_multistage() -> hls.Design:
+    d = hls.Design("fft_multistage")
+    real, imag, twr, twi = _fft_inputs()
+    real_in = d.buffer("real_in", hls.f32, FFT_SIZE, init=real)
+    imag_in = d.buffer("imag_in", hls.f32, FFT_SIZE, init=imag)
+    tw_real = d.buffer("tw_real", hls.f32, FFT_SIZE, init=twr)
+    tw_imag = d.buffer("tw_imag", hls.f32, FFT_SIZE, init=twi)
+    real_out = d.buffer("real_out", hls.f32, FFT_SIZE)
+    imag_out = d.buffer("imag_out", hls.f32, FFT_SIZE)
+    streams_r = [d.stream(f"sr{k}", hls.f32, depth=8)
+                 for k in range(FFT_STAGES + 1)]
+    streams_i = [d.stream(f"si{k}", hls.f32, depth=8)
+                 for k in range(FFT_STAGES + 1)]
+    d.add(fft_stage_reorder, real_in=real_in, imag_in=imag_in,
+          size=FFT_SIZE, out_r=streams_r[0], out_i=streams_i[0])
+    for stage in range(FFT_STAGES):
+        d.add(fft_stage_butterfly, instance_name=f"butterfly{stage}",
+              in_r=streams_r[stage], in_i=streams_i[stage],
+              tw_real=tw_real, tw_imag=tw_imag, size=FFT_SIZE, stage=stage,
+              out_r=streams_r[stage + 1], out_i=streams_i[stage + 1])
+    d.add(fft_stage_sink, in_r=streams_r[FFT_STAGES],
+          in_i=streams_i[FFT_STAGES], size=FFT_SIZE,
+          real_out=real_out, imag_out=imag_out)
+    return d
+
+
+_register_a("fft_multistage", build_fft_multistage,
+            "Dataflow FFT: one module per butterfly stage")
+
+
+# --- 25. Huffman encoding (canonical code lengths) ---------------------------
+
+ALPHABET = 32
+TEXT_LEN = 512
+
+
+@hls.kernel
+def huffman_kernel(text: hls.BufferIn(hls.i8, TEXT_LEN),
+                   n: hls.Const(), symbols: hls.Const(),
+                   lengths: hls.BufferOut(hls.i8, ALPHABET),
+                   total_bits: hls.ScalarOut(hls.i32)):
+    freq = hls.array(hls.i32, ALPHABET)
+    for i in range(n):
+        hls.pipeline(ii=2)
+        s = text[i]
+        freq[s] = freq[s] + 1
+    # Package-merge-free approximation used by the original example's
+    # teaching version: repeatedly merge the two smallest nodes.
+    weight = hls.array(hls.i32, 64)
+    parent = hls.array(hls.i32, 64)
+    active = hls.array(hls.i1, 64)
+    for s in range(symbols):
+        weight[s] = freq[s] + 1  # +1 avoids zero-weight symbols
+        active[s] = 1
+        parent[s] = 0
+    nodes = symbols
+    for merge in range(symbols - 1):
+        first = 0 - 1
+        second = 0 - 1
+        best1 = 1 << 30
+        best2 = 1 << 30
+        for j in range(64):
+            hls.pipeline(ii=1)
+            hls.trip_count(64)
+            if j < nodes:
+                if active[j] == 1:
+                    w = weight[j]
+                    if w < best1:
+                        best2 = best1
+                        second = first
+                        best1 = w
+                        first = j
+                    elif w < best2:
+                        best2 = w
+                        second = j
+        active[first] = 0
+        active[second] = 0
+        weight[nodes] = best1 + best2
+        active[nodes] = 1
+        parent[first] = nodes
+        parent[second] = nodes
+        nodes += 1
+    bits = 0
+    for s in range(symbols):
+        depth = 0
+        node = s
+        while parent[node] != 0:
+            hls.pipeline(ii=2)
+            hls.trip_count(8)
+            node = parent[node]
+            depth += 1
+        lengths[s] = depth
+        bits += depth * freq[s]
+    total_bits.set(bits)
+
+
+def build_huffman() -> hls.Design:
+    d = hls.Design("huffman_encoding")
+    text = d.buffer("text", hls.i8, TEXT_LEN,
+                    init=[(i * i + i // 3) % ALPHABET
+                          for i in range(TEXT_LEN)])
+    lengths = d.buffer("lengths", hls.i8, ALPHABET)
+    total_bits = d.scalar("total_bits", hls.i32)
+    d.add(huffman_kernel, text=text, n=TEXT_LEN, symbols=ALPHABET,
+          lengths=lengths, total_bits=total_bits)
+    return d
+
+
+_register_a("huffman_encoding", build_huffman,
+            "Huffman code-length construction")
+
+
+# --- 26. Matrix multiplication ------------------------------------------------
+
+MM = 16
+
+
+@hls.kernel
+def matmul_kernel(a: hls.BufferIn(hls.i32, MM * MM),
+                  b: hls.BufferIn(hls.i32, MM * MM),
+                  c_out: hls.BufferOut(hls.i32, MM * MM),
+                  m: hls.Const()):
+    for i in range(m):
+        for j in range(m):
+            acc = 0
+            for k in range(m):
+                hls.pipeline(ii=1)
+                acc += a[i * m + k] * b[k * m + j]
+            c_out[i * m + j] = acc
+
+
+def build_matmul() -> hls.Design:
+    d = hls.Design("matmul")
+    a = d.buffer("a", hls.i32, MM * MM,
+                 init=[(i % 7) + 1 for i in range(MM * MM)])
+    b = d.buffer("b", hls.i32, MM * MM,
+                 init=[(i % 5) + 1 for i in range(MM * MM)])
+    c = d.buffer("c_out", hls.i32, MM * MM)
+    d.add(matmul_kernel, a=a, b=b, c_out=c, m=MM)
+    return d
+
+
+_register_a("matmul", build_matmul, "16x16 integer matrix multiplication")
+
+
+# --- 27. Parallelized merge sort (dataflow) -----------------------------------
+
+SORT_N = 256
+HALF = SORT_N // 2
+
+
+@hls.kernel
+def msort_splitter(data: hls.BufferIn(hls.i32, SORT_N), n: hls.Const(),
+                   lo: hls.StreamOut(hls.i32), hi: hls.StreamOut(hls.i32)):
+    half = n // 2
+    for i in range(half):
+        hls.pipeline(ii=1)
+        lo.write(data[i])
+    for i in range(half):
+        hls.pipeline(ii=1)
+        hi.write(data[half + i])
+
+
+@hls.kernel
+def msort_sorter(inp: hls.StreamIn(hls.i32), n: hls.Const(),
+                 out: hls.StreamOut(hls.i32)):
+    buf = hls.array(hls.i32, HALF)
+    for i in range(n):
+        hls.pipeline(ii=1)
+        buf[i] = inp.read()
+    # Insertion-sort network (the book's teaching version).
+    for i in range(1, n):
+        key = buf[i]
+        j = i - 1
+        while j >= 0:
+            hls.pipeline(ii=3)
+            hls.trip_count(8)
+            if buf[j] > key:
+                buf[j + 1] = buf[j]
+                j -= 1
+            else:
+                break
+        buf[j + 1] = key
+    for i in range(n):
+        hls.pipeline(ii=1)
+        out.write(buf[i])
+
+
+@hls.kernel
+def msort_merger(lo: hls.StreamIn(hls.i32), hi: hls.StreamIn(hls.i32),
+                 n: hls.Const(), out: hls.BufferOut(hls.i32, SORT_N)):
+    half = n // 2
+    a = lo.read()
+    b = hi.read()
+    taken_a = 1
+    taken_b = 1
+    for i in range(n):
+        hls.pipeline(ii=2)
+        if (a <= b and taken_a <= half) or taken_b > half:
+            out[i] = a
+            if taken_a < half:
+                a = lo.read()
+                taken_a += 1
+            else:
+                taken_a = half + 1
+                a = 1 << 30
+        else:
+            out[i] = b
+            if taken_b < half:
+                b = hi.read()
+                taken_b += 1
+            else:
+                taken_b = half + 1
+                b = 1 << 30
+
+
+def build_merge_sort() -> hls.Design:
+    d = hls.Design("merge_sort_parallel")
+    data = d.buffer("data", hls.i32, SORT_N,
+                    init=[(i * 193 + 71) % 1000 for i in range(SORT_N)])
+    out = d.buffer("out", hls.i32, SORT_N)
+    lo = d.stream("lo_raw", hls.i32, depth=4)
+    hi = d.stream("hi_raw", hls.i32, depth=4)
+    lo_sorted = d.stream("lo_sorted", hls.i32, depth=4)
+    hi_sorted = d.stream("hi_sorted", hls.i32, depth=4)
+    d.add(msort_splitter, data=data, n=SORT_N, lo=lo, hi=hi)
+    d.add(msort_sorter, instance_name="sorter_lo", inp=lo, n=HALF,
+          out=lo_sorted)
+    d.add(msort_sorter, instance_name="sorter_hi", inp=hi, n=HALF,
+          out=hi_sorted)
+    d.add(msort_merger, lo=lo_sorted, hi=hi_sorted, n=SORT_N, out=out)
+    return d
+
+
+_register_a("merge_sort_parallel", build_merge_sort,
+            "Dataflow merge sort: split, two sorters, merge")

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the OmniSim reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause.  The
+hierarchy mirrors the pipeline stages: design construction, front-end
+compilation, synthesis (scheduling), and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DesignError(ReproError):
+    """Invalid design construction or wiring (e.g. a FIFO with two writers)."""
+
+
+class CompileError(ReproError):
+    """Front-end compilation failure (unsupported construct, type error)."""
+
+    def __init__(self, message: str, *, node=None, kernel: str | None = None):
+        self.kernel = kernel
+        self.lineno = getattr(node, "lineno", None)
+        location = ""
+        if kernel:
+            location += f" in kernel '{kernel}'"
+        if self.lineno is not None:
+            location += f" (line {self.lineno})"
+        super().__init__(message + location)
+
+
+class TypeCheckError(CompileError):
+    """Operand/port type mismatch detected during lowering or verification."""
+
+
+class ScheduleError(ReproError):
+    """Operation scheduling failed (e.g. pipelined loop containing a loop)."""
+
+
+class VerificationError(ReproError):
+    """IR verifier found a malformed function."""
+
+
+class SimulationError(ReproError):
+    """Generic simulation failure."""
+
+
+class UnsupportedDesignError(SimulationError):
+    """A simulator was asked to run a design class it cannot handle.
+
+    LightningSim raises this for Type B/C designs (non-blocking accesses),
+    mirroring the capability matrix in the paper's Fig. 3.
+    """
+
+
+class DeadlockError(SimulationError):
+    """A true design-level deadlock was detected (paper section 7.1).
+
+    Attributes:
+        cycle: hardware cycle at which every module was blocked.
+        blocked: mapping of module instance name to a human-readable
+            description of what it is blocked on.
+    """
+
+    def __init__(self, cycle: int, blocked: dict[str, str]):
+        self.cycle = cycle
+        self.blocked = dict(blocked)
+        details = "; ".join(f"{m}: {why}" for m, why in sorted(blocked.items()))
+        super().__init__(
+            f"unresolvable deadlock detected at cycle {cycle} ({details})"
+        )
+
+
+class SimulatedCrash(SimulationError):
+    """The simulated program performed an illegal action (e.g. out-of-bounds
+    array access).  Under the C-sim baseline this models the SIGSEGV rows of
+    the paper's Table 3."""
+
+    def __init__(self, message: str, module: str | None = None):
+        self.module = module
+        super().__init__(message)
+
+
+class ConstraintViolation(ReproError):
+    """Incremental re-simulation found a query whose outcome changed under the
+    new FIFO depths, so the recorded simulation graph is invalid (paper
+    section 7.2)."""
+
+    def __init__(self, message: str, query=None):
+        self.query = query
+        super().__init__(message)

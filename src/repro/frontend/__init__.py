@@ -1,0 +1,6 @@
+"""HLS front-end: compiles the Python-embedded dialect into IR."""
+
+from .compiler import compile_kernel
+from .optimize import eliminate_dead_fifo_checks
+
+__all__ = ["compile_kernel", "eliminate_dead_fifo_checks"]

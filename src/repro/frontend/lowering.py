@@ -1,0 +1,1109 @@
+"""AST-to-IR lowering: the core of the HLS front-end.
+
+Supports the restricted Python subset that maps onto synthesizable C:
+
+* integer/fixed/float arithmetic, comparisons, boolean logic, selects;
+* ``if``/``elif``/``else``, ``for i in range(...)``, ``while``, ``break``,
+  ``continue``, ``return``, ``assert``;
+* FIFO endpoint methods: ``read``, ``write``, ``read_nb``, ``write_nb``,
+  ``empty``, ``full``;
+* AXI master methods: ``read_req``, ``read``, ``write_req``, ``write``,
+  ``write_resp``;
+* scalar output registers: ``get``/``set``; local arrays via ``hls.array``;
+* pragmas ``hls.pipeline(ii=...)`` and ``hls.trip_count(n)`` as the first
+  statements of a loop body;
+* calls to other ``@hls.kernel`` functions, which are inlined.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..errors import CompileError, TypeCheckError
+from ..hls import ports as port_decls
+from ..hls.kernel import Kernel
+from ..ir import instructions as ins
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.function import LoopMeta
+from ..ir.values import Argument, Constant, Value
+from . import symbols as sym
+
+_CMP_MAP = {
+    ast.Eq: "eq", ast.NotEq: "ne", ast.Lt: "lt",
+    ast.LtE: "le", ast.Gt: "gt", ast.GtE: "ge",
+}
+
+_BIN_MAP = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul",
+    ast.Div: "div", ast.FloorDiv: "div", ast.Mod: "rem",
+    ast.BitAnd: "and", ast.BitOr: "or", ast.BitXor: "xor",
+    ast.LShift: "shl",
+}
+
+
+@dataclass
+class LoopContext:
+    """break/continue targets for the innermost lexical loop."""
+
+    header: object
+    exit: object
+    continue_target: object
+    meta: LoopMeta
+
+
+@dataclass
+class InlineFrame:
+    """State for lowering an inlined kernel call."""
+
+    kernel_name: str
+    return_slot: Value | None
+    return_block: object
+    returned: bool = False
+
+
+class KernelLowering:
+    """Lowers one kernel function (plus inlined callees) to IR."""
+
+    MAX_INLINE_DEPTH = 16
+
+    def __init__(self, kernel: Kernel, const_bindings: dict, function,
+                 arguments: dict):
+        self.kernel = kernel
+        self.function = function
+        self.builder = IRBuilder(function)
+        self.globals = dict(getattr(kernel.fn, "__globals__", {}))
+        closure = getattr(kernel.fn, "__closure__", None)
+        if closure:
+            freevars = kernel.fn.__code__.co_freevars
+            for name, cell in zip(freevars, closure):
+                self.globals[name] = cell.cell_contents
+        self.scope: dict[str, sym.Symbol] = {}
+        self.loop_stack: list[LoopContext] = []
+        self.inline_stack: list[InlineFrame] = []
+        self._active_loops: list[LoopMeta] = []
+        self._bind_parameters(const_bindings, arguments)
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def _bind_parameters(self, const_bindings: dict, arguments: dict):
+        for pname, decl in self.kernel.ports.items():
+            if isinstance(decl, (port_decls.Const, port_decls.In)):
+                value = const_bindings[pname]
+                self.scope[pname] = sym.ValueSymbol(
+                    Constant(decl.element, value)
+                )
+                continue
+            arg = arguments[pname]
+            self.scope[pname] = self._symbol_for_port(decl, arg)
+
+    @staticmethod
+    def _symbol_for_port(decl, arg: Argument) -> sym.Symbol:
+        if isinstance(decl, port_decls.StreamIn):
+            return sym.StreamSymbol(arg, "in")
+        if isinstance(decl, port_decls.StreamOut):
+            return sym.StreamSymbol(arg, "out")
+        if isinstance(decl, port_decls.Buffer):
+            return sym.ArraySymbol(arg, arg.type, decl.writable)
+        if isinstance(decl, port_decls.ScalarOut):
+            return sym.ScalarOutSymbol(arg, decl.element)
+        if isinstance(decl, port_decls.AxiMaster):
+            return sym.AxiSymbol(arg)
+        raise CompileError(f"unsupported port declaration {decl!r}")
+
+    def err(self, message: str, node=None) -> CompileError:
+        return CompileError(message, node=node, kernel=self.kernel.name)
+
+    # ------------------------------------------------------------------
+    # entry point
+
+    def lower(self, body: list[ast.stmt]) -> None:
+        entry = self.builder.new_block("entry")
+        self.builder.set_block(entry)
+        self.lower_statements(body)
+        if not self.builder.is_terminated:
+            self.builder.ret()
+
+    # ------------------------------------------------------------------
+    # blocks & loops bookkeeping
+
+    def new_block(self, label: str = ""):
+        block = self.builder.new_block(label)
+        if self._active_loops:
+            innermost = self._active_loops[-1]
+            block.loop = innermost
+            for loop in self._active_loops:
+                loop.blocks.add(block)
+        return block
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def lower_statements(self, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            if self.builder.is_terminated:
+                # Unreachable trailing code (e.g. after return/break).
+                break
+            self.lower_statement(statement)
+
+    def lower_statement(self, node: ast.stmt) -> None:
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            raise self.err(
+                f"unsupported statement {type(node).__name__}", node
+            )
+        method(node)
+
+    def _stmt_Pass(self, node):
+        pass
+
+    def _stmt_Expr(self, node: ast.Expr):
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return  # docstring
+        if isinstance(value, ast.Call):
+            self.lower_call(value, result_used=False)
+            return
+        raise self.err("expression statement has no effect", node)
+
+    def _stmt_Assign(self, node: ast.Assign):
+        if len(node.targets) != 1:
+            raise self.err("chained assignment is not supported", node)
+        target = node.targets[0]
+        if isinstance(target, ast.Tuple):
+            self._lower_tuple_assign(target, node.value, node)
+            return
+        rhs_array = self._try_local_array_decl(node.value)
+        if rhs_array is not None:
+            if not isinstance(target, ast.Name):
+                raise self.err("hls.array target must be a simple name", node)
+            array_type, init = rhs_array
+            slot = self.builder.alloca(array_type, target.id)
+            self.scope[target.id] = sym.ArraySymbol(slot, array_type)
+            if init is not None:
+                for i, item in enumerate(init):
+                    self.builder.store(
+                        slot, Constant(array_type.element, item),
+                        Constant(ty.i32, i),
+                    )
+            return
+        value = self.lower_expr(node.value)
+        self._assign_to(target, value, node)
+
+    def _stmt_AnnAssign(self, node: ast.AnnAssign):
+        if not isinstance(node.target, ast.Name):
+            raise self.err("annotated assignment target must be a name", node)
+        declared = self._resolve_type(node.annotation, node)
+        value = (self.lower_expr(node.value) if node.value is not None
+                 else Constant(declared, 0))
+        name = node.target.id
+        slot = self.builder.alloca(declared, name)
+        self.scope[name] = sym.VarSymbol(slot, declared)
+        self.builder.store(slot, self.builder.coerce(value, declared))
+
+    def _stmt_AugAssign(self, node: ast.AugAssign):
+        op = _BIN_MAP.get(type(node.op))
+        if op is None and isinstance(node.op, ast.RShift):
+            op = "rshift"
+        if op is None:
+            raise self.err(
+                f"unsupported augmented op {type(node.op).__name__}", node
+            )
+        current = self._read_target(node.target, node)
+        rhs = self.lower_expr(node.value)
+        result = self._emit_binop(op, current, rhs, node)
+        self._assign_to(node.target, result, node)
+
+    def _read_target(self, target, node) -> Value:
+        if isinstance(target, ast.Name):
+            return self._load_name(target.id, node)
+        if isinstance(target, ast.Subscript):
+            return self._lower_subscript_load(target)
+        raise self.err("unsupported assignment target", node)
+
+    def _assign_to(self, target, value: Value, node) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            symbol = self.scope.get(name)
+            if symbol is None:
+                slot = self.builder.alloca(value.type, name)
+                self.scope[name] = sym.VarSymbol(slot, value.type)
+                self.builder.store(slot, value)
+            elif isinstance(symbol, sym.VarSymbol):
+                self.builder.store(symbol.slot, value)
+            else:
+                raise self.err(f"cannot assign to {name!r}", node)
+            return
+        if isinstance(target, ast.Subscript):
+            storage, index, elem, writable = self._subscript_ref(target)
+            if not writable:
+                raise self.err("store to read-only buffer", node)
+            self.builder.store(storage, value, index)
+            return
+        raise self.err("unsupported assignment target", node)
+
+    def _lower_tuple_assign(self, target: ast.Tuple, value_node, node):
+        """``ok, v = stream.read_nb()`` is the only tuple pattern."""
+        if not (isinstance(value_node, ast.Call)
+                and isinstance(value_node.func, ast.Attribute)
+                and value_node.func.attr == "read_nb"):
+            raise self.err(
+                "tuple assignment is only supported for stream.read_nb()",
+                node,
+            )
+        if len(target.elts) != 2:
+            raise self.err("read_nb() unpacks into exactly two names", node)
+        stream = self._stream_operand(value_node.func.value, "in", node)
+        result = self.builder.emit(ins.FifoNbRead(stream))
+        ok = self.builder.emit(ins.TupleGet(result, 0))
+        data = self.builder.emit(ins.TupleGet(result, 1))
+        for element, part in zip(target.elts, (ok, data)):
+            if not isinstance(element, ast.Name):
+                raise self.err("read_nb targets must be names", node)
+            if element.id == "_":
+                continue
+            self._assign_to(element, part, node)
+
+    def _stmt_If(self, node: ast.If):
+        cond = self.lower_expr(node.test)
+        then_block = self.new_block("if.then")
+        merge_block = self.new_block("if.end")
+        else_block = merge_block
+        if node.orelse:
+            else_block = self.new_block("if.else")
+        self.builder.branch(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        self.lower_statements(node.body)
+        if not self.builder.is_terminated:
+            self.builder.jump(merge_block)
+
+        if node.orelse:
+            self.builder.set_block(else_block)
+            self.lower_statements(node.orelse)
+            if not self.builder.is_terminated:
+                self.builder.jump(merge_block)
+
+        self.builder.set_block(merge_block)
+        if self._block_unreachable(merge_block):
+            # Both arms diverged; terminate the dead merge block.
+            self.builder.ret()
+
+    def _block_unreachable(self, block) -> bool:
+        for other in self.function.blocks:
+            if other is block:
+                continue
+            if block in other.successors():
+                return False
+        return True
+
+    def _stmt_While(self, node: ast.While):
+        header = self.new_block("while.head")
+        self.builder.jump(header)
+
+        meta = LoopMeta(header=header, name="while")
+        self._register_loop(meta, header)
+
+        body_first, exit_block, pragmas = self._loop_scaffold(
+            node, header, meta, continue_target=header
+        )
+
+        self.builder.set_block(header)
+        infinite = (isinstance(node.test, ast.Constant)
+                    and node.test.value is True)
+        if infinite:
+            self.builder.jump(body_first)
+        else:
+            cond = self.lower_expr(node.test)
+            self.builder.branch(cond, body_first, exit_block)
+
+        self.builder.set_block(body_first)
+        self.lower_statements(pragmas)
+        if not self.builder.is_terminated:
+            self.builder.jump(header)
+
+        self._finish_loop(meta, exit_block)
+
+    def _stmt_For(self, node: ast.For):
+        if not (isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"):
+            raise self.err("for loops must iterate over range(...)", node)
+        if not isinstance(node.target, ast.Name):
+            raise self.err("loop variable must be a simple name", node)
+        if node.orelse:
+            raise self.err("for/else is not supported", node)
+        if self._has_unroll_pragma(node.body):
+            self._lower_unrolled_for(node)
+            return
+
+        args = [self.lower_expr(a) for a in node.iter.args]
+        if len(args) == 1:
+            start, stop, step = Constant(ty.i32, 0), args[0], Constant(ty.i32, 1)
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], Constant(ty.i32, 1)
+        elif len(args) == 3:
+            start, stop, step = args
+        else:
+            raise self.err("range() takes 1-3 arguments", node)
+        if not isinstance(step, Constant) or step.value == 0:
+            raise self.err("range() step must be a non-zero constant", node)
+
+        ivar_type = ty.common_type(start.type, stop.type)
+        name = node.target.id
+        slot = self.builder.alloca(ivar_type, name)
+        self.scope[name] = sym.VarSymbol(slot, ivar_type)
+        self.builder.store(slot, start)
+
+        header = self.new_block("for.head")
+        self.builder.jump(header)
+        meta = LoopMeta(header=header, name=f"for_{name}")
+        self._register_loop(meta, header)
+
+        latch = self.new_block("for.latch")
+        meta.latch = latch
+        body_first, exit_block, pragmas = self._loop_scaffold(
+            node, header, meta, continue_target=latch
+        )
+        self._infer_trip_hint(meta, start, stop, step)
+
+        self.builder.set_block(header)
+        ivar = self.builder.load(slot, name=name)
+        cmp_op = "lt" if step.value > 0 else "gt"
+        cond = self.builder.cmp(cmp_op, ivar, stop)
+        self.builder.branch(cond, body_first, exit_block)
+
+        self.builder.set_block(body_first)
+        self.lower_statements(pragmas)
+        if not self.builder.is_terminated:
+            self.builder.jump(latch)
+
+        self.builder.set_block(latch)
+        ivar2 = self.builder.load(slot)
+        self.builder.store(slot, self.builder.binop("add", ivar2, step))
+        self.builder.jump(header)
+
+        self._finish_loop(meta, exit_block)
+
+    def _has_unroll_pragma(self, body: list[ast.stmt]) -> bool:
+        for statement in body:
+            if not (isinstance(statement, ast.Expr)
+                    and isinstance(statement.value, ast.Call)):
+                return False
+            func = statement.value.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.attr == "unroll"
+                    and self._is_hls_module(func.value.id)):
+                return True
+        return False
+
+    def _lower_unrolled_for(self, node: ast.For):
+        """Fully unroll a constant-trip loop: replicate the body once per
+        iteration with the loop variable bound to each constant value."""
+        args = [self.lower_expr(a) for a in node.iter.args]
+        values = [a.value if isinstance(a, Constant) else None for a in args]
+        if any(v is None for v in values):
+            raise self.err(
+                "unrolled loops require compile-time constant bounds", node
+            )
+        if len(values) == 1:
+            start, stop, step = 0, values[0], 1
+        elif len(values) == 2:
+            start, stop, step = values[0], values[1], 1
+        else:
+            start, stop, step = values
+        if step == 0:
+            raise self.err("range() step must be non-zero", node)
+        trips = range(start, stop, step)
+        if len(trips) > 1024:
+            raise self.err(
+                f"refusing to unroll {len(trips)} iterations (limit 1024)",
+                node,
+            )
+        body = [s for s in node.body if not self._is_pragma_stmt(s)]
+        for stmt in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(stmt, (ast.Break, ast.Continue)):
+                raise self.err(
+                    "break/continue inside an unrolled loop is not "
+                    "supported", node
+                )
+        name = node.target.id
+        slot = self.builder.alloca(ty.i32, name)
+        self.scope[name] = sym.VarSymbol(slot, ty.i32)
+        for value in trips:
+            if self.builder.is_terminated:
+                break
+            self.builder.store(slot, Constant(ty.i32, value))
+            self.lower_statements(body)
+
+    def _is_pragma_stmt(self, statement: ast.stmt) -> bool:
+        if not (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Call)):
+            return False
+        func = statement.value.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and self._is_hls_module(func.value.id)):
+            return func.attr in ("pipeline", "trip_count", "unroll")
+        return False
+
+    def _register_loop(self, meta: LoopMeta, header) -> None:
+        meta.parent = self._active_loops[-1] if self._active_loops else None
+        meta.blocks.add(header)
+        header.is_loop_header = True
+        header.loop = meta
+        for loop in self._active_loops:
+            loop.blocks.add(header)
+        self.function.loops.append(meta)
+        self._active_loops.append(meta)
+
+    def _loop_scaffold(self, node, header, meta, continue_target):
+        """Create body/exit blocks, parse pragmas, push the loop context.
+
+        Returns (body_first_block, exit_block, remaining_body_stmts).
+        """
+        remaining = self._consume_pragmas(node.body, meta)
+        body_first = self.new_block("loop.body")
+        # The exit block belongs to the *enclosing* loop (if any), so pop
+        # this loop temporarily while creating it.
+        self._active_loops.pop()
+        exit_block = self.new_block("loop.exit")
+        self._active_loops.append(meta)
+        meta.exit = exit_block
+        self.loop_stack.append(
+            LoopContext(header, exit_block, continue_target, meta)
+        )
+        return body_first, exit_block, remaining
+
+    def _finish_loop(self, meta: LoopMeta, exit_block) -> None:
+        self.loop_stack.pop()
+        self._active_loops.pop()
+        self.builder.set_block(exit_block)
+
+    def _consume_pragmas(self, body: list[ast.stmt], meta: LoopMeta):
+        """Strip leading hls.pipeline / hls.trip_count pragma calls."""
+        index = 0
+        while index < len(body):
+            statement = body[index]
+            if not (isinstance(statement, ast.Expr)
+                    and isinstance(statement.value, ast.Call)):
+                break
+            call = statement.value
+            pragma = self._pragma_name(call.func)
+            if pragma == "pipeline":
+                meta.pipelined = True
+                meta.ii = self._pragma_int_arg(call, "ii", default=1)
+                if meta.ii < 1:
+                    raise self.err("pipeline II must be >= 1", statement)
+            elif pragma == "trip_count":
+                meta.trip_hint = self._pragma_int_arg(call, "n", default=None,
+                                                      positional=True)
+            else:
+                break
+            index += 1
+        return body[index:]
+
+    def _pragma_name(self, func) -> str | None:
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)):
+            module = self.globals.get(func.value.id)
+            import repro.hls as hls_module
+
+            if module is hls_module and func.attr in ("pipeline",
+                                                      "trip_count"):
+                return func.attr
+        return None
+
+    def _pragma_int_arg(self, call: ast.Call, keyword: str, default,
+                        positional: bool = False):
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return self._const_int(kw.value, call)
+        if positional and call.args:
+            return self._const_int(call.args[0], call)
+        if call.args and not positional:
+            return self._const_int(call.args[0], call)
+        return default
+
+    def _infer_trip_hint(self, meta, start, stop, step):
+        if meta.trip_hint is not None:
+            return
+        if isinstance(start, Constant) and isinstance(stop, Constant):
+            span = stop.value - start.value
+            trips = max(0, -(-span // step.value) if step.value > 0
+                        else -(-(-span) // (-step.value)))
+            meta.trip_hint = trips
+
+    def _stmt_Break(self, node):
+        if not self.loop_stack:
+            raise self.err("break outside loop", node)
+        self.builder.jump(self.loop_stack[-1].exit)
+
+    def _stmt_Continue(self, node):
+        if not self.loop_stack:
+            raise self.err("continue outside loop", node)
+        self.builder.jump(self.loop_stack[-1].continue_target)
+
+    def _stmt_Return(self, node: ast.Return):
+        if self.inline_stack:
+            frame = self.inline_stack[-1]
+            if node.value is not None:
+                if frame.return_slot is None:
+                    raise self.err(
+                        f"kernel {frame.kernel_name} returns a value but has "
+                        "no return type annotation", node
+                    )
+                value = self.lower_expr(node.value)
+                self.builder.store(frame.return_slot, value)
+            frame.returned = True
+            self.builder.jump(frame.return_block)
+            return
+        if node.value is not None:
+            raise self.err(
+                "top-level kernels cannot return values; use a ScalarOut "
+                "port", node
+            )
+        self.builder.ret()
+
+    def _stmt_Assert(self, node: ast.Assert):
+        cond = self.lower_expr(node.test)
+        message = "assertion failed"
+        if node.msg is not None:
+            if (isinstance(node.msg, ast.Constant)
+                    and isinstance(node.msg.value, str)):
+                message = node.msg.value
+            else:
+                raise self.err("assert message must be a string literal",
+                               node)
+        self.builder.emit(ins.Assert(self.builder.to_bool(cond), message))
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def lower_expr(self, node: ast.expr) -> Value:
+        method = getattr(self, f"_expr_{type(node).__name__}", None)
+        if method is None:
+            raise self.err(
+                f"unsupported expression {type(node).__name__}", node
+            )
+        return method(node)
+
+    def _expr_Constant(self, node: ast.Constant) -> Value:
+        value = node.value
+        if isinstance(value, bool):
+            return Constant(ty.i1, int(value))
+        if isinstance(value, int):
+            type_ = ty.i32 if -(2**31) <= value < 2**31 else ty.i64
+            return Constant(type_, value)
+        if isinstance(value, float):
+            return Constant(ty.f32, value)
+        raise self.err(f"unsupported literal {value!r}", node)
+
+    def _expr_Name(self, node: ast.Name) -> Value:
+        return self._load_name(node.id, node)
+
+    def _load_name(self, name: str, node) -> Value:
+        symbol = self.scope.get(name)
+        if symbol is None:
+            # Fall back to module-level constants (e.g. N = 2025).
+            if name in self.globals and isinstance(self.globals[name], int):
+                return Constant(ty.i32, self.globals[name])
+            raise self.err(f"undefined name {name!r}", node)
+        if isinstance(symbol, sym.VarSymbol):
+            return self.builder.load(symbol.slot, name=name)
+        if isinstance(symbol, sym.ValueSymbol):
+            return symbol.value
+        raise self.err(f"{name!r} is not a scalar value", node)
+
+    def _expr_BinOp(self, node: ast.BinOp) -> Value:
+        if isinstance(node.op, ast.RShift):
+            op = "rshift"
+        else:
+            op = _BIN_MAP.get(type(node.op))
+        if op is None:
+            raise self.err(
+                f"unsupported operator {type(node.op).__name__}", node
+            )
+        a = self.lower_expr(node.left)
+        b = self.lower_expr(node.right)
+        return self._emit_binop(op, a, b, node)
+
+    def _emit_binop(self, op: str, a: Value, b: Value, node) -> Value:
+        if op == "rshift":
+            # Arithmetic shift for signed, logical for unsigned.
+            if isinstance(a.type, ty.IntType) and not a.type.signed:
+                op = "lshr"
+            else:
+                op = "ashr"
+        try:
+            return self.builder.binop(op, a, b)
+        except TypeCheckError as exc:
+            raise self.err(str(exc), node) from exc
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp) -> Value:
+        operand = self.lower_expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            if isinstance(operand, Constant):
+                return Constant(operand.type, -operand.value
+                                if not isinstance(operand.type, ty.FloatType)
+                                else -operand.value)
+            return self.builder.unop("neg", operand)
+        if isinstance(node.op, ast.Invert):
+            return self.builder.unop("not", operand)
+        if isinstance(node.op, ast.Not):
+            return self.builder.unop("lnot", operand)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        raise self.err("unsupported unary operator", node)
+
+    def _expr_Compare(self, node: ast.Compare) -> Value:
+        if len(node.ops) != 1:
+            raise self.err("chained comparisons are not supported", node)
+        op = _CMP_MAP.get(type(node.ops[0]))
+        if op is None:
+            raise self.err(
+                f"unsupported comparison {type(node.ops[0]).__name__}", node
+            )
+        a = self.lower_expr(node.left)
+        b = self.lower_expr(node.comparators[0])
+        return self.builder.cmp(op, a, b)
+
+    def _expr_BoolOp(self, node: ast.BoolOp) -> Value:
+        # Lowered to bitwise logic on booleans (no short-circuit), which is
+        # what HLS hardware does.  Operands with side effects are rejected.
+        for value in node.values:
+            self._reject_side_effects(value)
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        result = self.builder.to_bool(self.lower_expr(node.values[0]))
+        for value in node.values[1:]:
+            rhs = self.builder.to_bool(self.lower_expr(value))
+            result = self.builder.binop(op, result, rhs)
+        return result
+
+    def _reject_side_effects(self, node) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                func = child.func
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    "read", "write", "read_nb", "write_nb",
+                    "read_req", "write_req", "write_resp", "set",
+                ):
+                    raise self.err(
+                        "FIFO/AXI operations inside and/or expressions are "
+                        "not supported; use explicit ifs", node
+                    )
+
+    def _expr_IfExp(self, node: ast.IfExp) -> Value:
+        cond = self.lower_expr(node.test)
+        a = self.lower_expr(node.body)
+        b = self.lower_expr(node.orelse)
+        return self.builder.select(cond, a, b)
+
+    def _expr_Subscript(self, node: ast.Subscript) -> Value:
+        return self._lower_subscript_load(node)
+
+    def _expr_Call(self, node: ast.Call) -> Value:
+        result = self.lower_call(node, result_used=True)
+        if result is None:
+            raise self.err("call used as a value returns nothing", node)
+        return result
+
+    # ------------------------------------------------------------------
+    # subscripts
+
+    def _subscript_ref(self, node: ast.Subscript):
+        """Resolve (possibly nested) subscripts into
+        (storage, flat_index, element_type, writable)."""
+        indices = []
+        base = node
+        while isinstance(base, ast.Subscript):
+            indices.append(base.slice)
+            base = base.value
+        indices.reverse()
+        if not isinstance(base, ast.Name):
+            raise self.err("subscript base must be a name", node)
+        symbol = self.scope.get(base.id)
+        if not isinstance(symbol, sym.ArraySymbol):
+            raise self.err(f"{base.id!r} is not an array", node)
+        shape = symbol.type.shape
+        if len(indices) != len(shape):
+            raise self.err(
+                f"array {base.id!r} expects {len(shape)} indices, got "
+                f"{len(indices)}", node
+            )
+        strides = symbol.type.flat_index_strides()
+        flat: Value | None = None
+        for index_node, stride in zip(indices, strides):
+            index = self.builder.coerce(self.lower_expr(index_node), ty.i32)
+            term = (index if stride == 1 else
+                    self.builder.binop("mul", index,
+                                       Constant(ty.i32, stride)))
+            flat = term if flat is None else self.builder.binop("add", flat,
+                                                                term)
+        return symbol.storage, flat, symbol.type.element, symbol.writable
+
+    def _lower_subscript_load(self, node: ast.Subscript) -> Value:
+        storage, index, _elem, _writable = self._subscript_ref(node)
+        return self.builder.load(storage, index)
+
+    # ------------------------------------------------------------------
+    # calls
+
+    def lower_call(self, node: ast.Call, result_used: bool) -> Value | None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return self._lower_method_call(node, func, result_used)
+        if isinstance(func, ast.Name):
+            return self._lower_plain_call(node, func, result_used)
+        raise self.err("unsupported call target", node)
+
+    def _lower_method_call(self, node: ast.Call, func: ast.Attribute,
+                           result_used: bool):
+        # hls.pipeline / hls.trip_count outside loop-head position: error.
+        if self._pragma_name(func) is not None:
+            raise self.err(
+                f"hls.{func.attr}() must be the first statement of a loop "
+                "body", node
+            )
+        if (isinstance(func.value, ast.Name)
+                and self._is_hls_module(func.value.id)):
+            return self._lower_hls_call(node, func.attr, result_used)
+
+        if not isinstance(func.value, ast.Name):
+            raise self.err("method call base must be a name", node)
+        symbol = self.scope.get(func.value.id)
+        if isinstance(symbol, sym.StreamSymbol):
+            return self._lower_stream_method(node, symbol, func.attr,
+                                             result_used)
+        if isinstance(symbol, sym.AxiSymbol):
+            return self._lower_axi_method(node, symbol, func.attr)
+        if isinstance(symbol, sym.ScalarOutSymbol):
+            return self._lower_scalar_method(node, symbol, func.attr)
+        raise self.err(
+            f"{func.value.id!r} has no method {func.attr!r}", node
+        )
+
+    def _is_hls_module(self, name: str) -> bool:
+        import repro.hls as hls_module
+
+        return self.globals.get(name) is hls_module
+
+    def _lower_hls_call(self, node: ast.Call, attr: str, result_used: bool):
+        if attr == "cast":
+            if len(node.args) != 2:
+                raise self.err("hls.cast(type, value) takes 2 arguments",
+                               node)
+            target_type = self._resolve_type(node.args[0], node)
+            value = self.lower_expr(node.args[1])
+            return self.builder.coerce(value, target_type)
+        if attr == "array":
+            raise self.err(
+                "hls.array(...) may only appear as `name = hls.array(...)`",
+                node,
+            )
+        raise self.err(f"unknown hls helper hls.{attr}", node)
+
+    def _stream_operand(self, base, direction: str, node) -> Value:
+        if not isinstance(base, ast.Name):
+            raise self.err("stream operations require a named stream", node)
+        symbol = self.scope.get(base.id)
+        if not isinstance(symbol, sym.StreamSymbol):
+            raise self.err(f"{base.id!r} is not a stream", node)
+        if symbol.direction != direction:
+            need = "readable" if direction == "in" else "writable"
+            raise self.err(f"stream {base.id!r} is not {need}", node)
+        return symbol.arg
+
+    def _lower_stream_method(self, node: ast.Call, symbol: sym.StreamSymbol,
+                             method: str, result_used: bool):
+        stream = symbol.arg
+        if method == "read":
+            self._require_direction(symbol, "in", node)
+            self._check_argc(node, 0)
+            return self.builder.emit(ins.FifoRead(stream))
+        if method == "write":
+            self._require_direction(symbol, "out", node)
+            self._check_argc(node, 1)
+            value = self.builder.coerce(
+                self.lower_expr(node.args[0]), stream.type.element
+            )
+            return self.builder.emit(ins.FifoWrite(stream, value))
+        if method == "read_nb":
+            self._require_direction(symbol, "in", node)
+            self._check_argc(node, 0)
+            return self.builder.emit(ins.FifoNbRead(stream))
+        if method == "write_nb":
+            self._require_direction(symbol, "out", node)
+            self._check_argc(node, 1)
+            value = self.builder.coerce(
+                self.lower_expr(node.args[0]), stream.type.element
+            )
+            return self.builder.emit(ins.FifoNbWrite(stream, value))
+        if method == "empty":
+            self._require_direction(symbol, "in", node)
+            self._check_argc(node, 0)
+            can_read = self.builder.emit(ins.FifoCanRead(stream))
+            return self.builder.unop("lnot", can_read)
+        if method == "full":
+            self._require_direction(symbol, "out", node)
+            self._check_argc(node, 0)
+            can_write = self.builder.emit(ins.FifoCanWrite(stream))
+            return self.builder.unop("lnot", can_write)
+        raise self.err(f"unknown stream method {method!r}", node)
+
+    def _require_direction(self, symbol: sym.StreamSymbol, direction: str,
+                           node) -> None:
+        if symbol.direction != direction:
+            verb = "read from" if direction == "in" else "write to"
+            raise self.err(
+                f"cannot {verb} a Stream{'In' if direction == 'out' else 'Out'}"
+                " port", node
+            )
+
+    def _check_argc(self, node: ast.Call, count: int) -> None:
+        if len(node.args) != count or node.keywords:
+            raise self.err(
+                f"expected {count} positional argument(s)", node
+            )
+
+    def _lower_axi_method(self, node: ast.Call, symbol: sym.AxiSymbol,
+                          method: str):
+        port = symbol.arg
+        if method == "read_req":
+            self._check_argc(node, 2)
+            offset = self.builder.coerce(self.lower_expr(node.args[0]),
+                                         ty.i32)
+            length = self.builder.coerce(self.lower_expr(node.args[1]),
+                                         ty.i32)
+            return self.builder.emit(ins.AxiReadReq(port, offset, length))
+        if method == "read":
+            self._check_argc(node, 0)
+            return self.builder.emit(ins.AxiRead(port))
+        if method == "write_req":
+            self._check_argc(node, 2)
+            offset = self.builder.coerce(self.lower_expr(node.args[0]),
+                                         ty.i32)
+            length = self.builder.coerce(self.lower_expr(node.args[1]),
+                                         ty.i32)
+            return self.builder.emit(ins.AxiWriteReq(port, offset, length))
+        if method == "write":
+            self._check_argc(node, 1)
+            value = self.builder.coerce(self.lower_expr(node.args[0]),
+                                        port.type.element)
+            return self.builder.emit(ins.AxiWrite(port, value))
+        if method == "write_resp":
+            self._check_argc(node, 0)
+            return self.builder.emit(ins.AxiWriteResp(port))
+        raise self.err(f"unknown AXI method {method!r}", node)
+
+    def _lower_scalar_method(self, node: ast.Call,
+                             symbol: sym.ScalarOutSymbol, method: str):
+        if method == "set":
+            self._check_argc(node, 1)
+            value = self.lower_expr(node.args[0])
+            return self.builder.store(symbol.arg, value, Constant(ty.i32, 0))
+        if method == "get":
+            self._check_argc(node, 0)
+            return self.builder.load(symbol.arg, Constant(ty.i32, 0))
+        raise self.err(f"unknown scalar method {method!r}", node)
+
+    def _lower_plain_call(self, node: ast.Call, func: ast.Name,
+                          result_used: bool):
+        name = func.id
+        if name in ("min", "max"):
+            if len(node.args) != 2:
+                raise self.err(f"{name}() requires exactly 2 arguments", node)
+            a = self.lower_expr(node.args[0])
+            b = self.lower_expr(node.args[1])
+            op = "lt" if name == "min" else "gt"
+            cond = self.builder.cmp(op, a, b)
+            return self.builder.select(cond, a, b)
+        if name == "abs":
+            self._check_argc(node, 1)
+            a = self.lower_expr(node.args[0])
+            neg = self.builder.unop("neg", a)
+            cond = self.builder.cmp("lt", a, Constant(a.type, 0))
+            return self.builder.select(cond, neg, a)
+        if name == "int":
+            self._check_argc(node, 1)
+            return self.builder.coerce(self.lower_expr(node.args[0]), ty.i32)
+        if name == "float":
+            self._check_argc(node, 1)
+            return self.builder.coerce(self.lower_expr(node.args[0]), ty.f32)
+        if name == "bool":
+            self._check_argc(node, 1)
+            return self.builder.to_bool(self.lower_expr(node.args[0]))
+
+        target = self.globals.get(name) or self.scope.get(name)
+        if isinstance(target, sym.KernelSymbol):
+            target = target.kernel
+        if isinstance(target, Kernel):
+            return self._inline_kernel_call(node, target, result_used)
+        raise self.err(f"cannot call {name!r}", node)
+
+    # ------------------------------------------------------------------
+    # kernel inlining
+
+    def _inline_kernel_call(self, node: ast.Call, callee: Kernel,
+                            result_used: bool):
+        if len(self.inline_stack) >= self.MAX_INLINE_DEPTH:
+            raise self.err(
+                f"inline depth limit exceeded calling {callee.name} "
+                "(recursive kernels are not synthesizable)", node
+            )
+        params = list(callee.ports.items())
+        if len(node.args) != len(params) or node.keywords:
+            raise self.err(
+                f"kernel {callee.name} takes {len(params)} positional "
+                f"arguments, got {len(node.args)}", node
+            )
+
+        saved_scope = self.scope
+        saved_globals = self.globals
+        callee_scope: dict[str, sym.Symbol] = {}
+        for (pname, decl), arg_node in zip(params, node.args):
+            callee_scope[pname] = self._bind_inline_argument(
+                decl, arg_node, callee, node
+            )
+
+        return_type = callee.return_type
+        return_slot = None
+        if return_type is not None:
+            if not isinstance(return_type, ty.Type):
+                raise self.err(
+                    f"kernel {callee.name}: return annotation must be an "
+                    "hls type", node
+                )
+            return_slot = self.builder.alloca(return_type,
+                                              f"{callee.name}.ret")
+        return_block = self.new_block(f"{callee.name}.ret")
+
+        frame = InlineFrame(callee.name, return_slot, return_block)
+        self.inline_stack.append(frame)
+        self.scope = callee_scope
+        callee_globals = dict(getattr(callee.fn, "__globals__", {}))
+        closure = getattr(callee.fn, "__closure__", None)
+        if closure:
+            for fname, cell in zip(callee.fn.__code__.co_freevars, closure):
+                callee_globals[fname] = cell.cell_contents
+        self.globals = callee_globals
+
+        import ast as ast_module
+
+        tree = ast_module.parse(callee.source)
+        fn_def = tree.body[0]
+        body_block = self.new_block(f"{callee.name}.body")
+        self.builder.jump(body_block)
+        self.builder.set_block(body_block)
+        self.lower_statements(fn_def.body)
+        if not self.builder.is_terminated:
+            self.builder.jump(return_block)
+
+        self.inline_stack.pop()
+        self.scope = saved_scope
+        self.globals = saved_globals
+        self.builder.set_block(return_block)
+
+        if return_slot is not None and result_used:
+            return self.builder.load(return_slot)
+        return None
+
+    def _bind_inline_argument(self, decl, arg_node, callee: Kernel, node):
+        if isinstance(decl, (port_decls.Const, port_decls.In)):
+            value = self.lower_expr(arg_node)
+            if isinstance(decl, port_decls.Const):
+                if not isinstance(value, Constant):
+                    raise self.err(
+                        f"kernel {callee.name}: Const parameter requires a "
+                        "compile-time constant", node
+                    )
+                value = Constant(decl.element, value.value)
+            else:
+                value = self.builder.coerce(value, decl.element)
+            return sym.ValueSymbol(value)
+        # Hardware ports must be passed through by name.
+        if not isinstance(arg_node, ast.Name):
+            raise self.err(
+                f"kernel {callee.name}: hardware ports must be passed as "
+                "plain names", node
+            )
+        symbol = self.scope.get(arg_node.id)
+        if symbol is None:
+            raise self.err(f"undefined name {arg_node.id!r}", node)
+        expected = {
+            port_decls.StreamIn: sym.StreamSymbol,
+            port_decls.StreamOut: sym.StreamSymbol,
+            port_decls.Buffer: sym.ArraySymbol,
+            port_decls.ScalarOut: sym.ScalarOutSymbol,
+            port_decls.AxiMaster: sym.AxiSymbol,
+        }.get(type(decl))
+        if expected is None or not isinstance(symbol, expected):
+            raise self.err(
+                f"kernel {callee.name}: argument {arg_node.id!r} does not "
+                f"match port declaration {decl}", node
+            )
+        if isinstance(decl, port_decls.StreamIn) and symbol.direction != "in":
+            raise self.err(
+                f"kernel {callee.name}: stream direction mismatch for "
+                f"{arg_node.id!r}", node
+            )
+        if (isinstance(decl, port_decls.StreamOut)
+                and symbol.direction != "out"):
+            raise self.err(
+                f"kernel {callee.name}: stream direction mismatch for "
+                f"{arg_node.id!r}", node
+            )
+        return symbol
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _try_local_array_decl(self, node):
+        """Detect ``hls.array(element_type, shape)`` on the RHS."""
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "array"
+                and isinstance(node.func.value, ast.Name)
+                and self._is_hls_module(node.func.value.id)):
+            return None
+        if len(node.args) < 2:
+            raise self.err("hls.array(element_type, shape[, init])", node)
+        element = self._resolve_type(node.args[0], node)
+        shape_node = node.args[1]
+        if isinstance(shape_node, ast.Tuple):
+            shape = tuple(self._const_int(e, node) for e in shape_node.elts)
+        else:
+            shape = (self._const_int(shape_node, node),)
+        init = None
+        if len(node.args) >= 3:
+            init = self._const_list(node.args[2], node)
+        return ty.ArrayType(element, shape), init
+
+    def _resolve_type(self, node, context) -> ty.Type:
+        """Evaluate a type expression (e.g. ``hls.i32``, ``hls.fixed(16,8)``)
+        against the kernel's globals."""
+        try:
+            code = compile(ast.Expression(body=node), "<type>", "eval")
+            result = eval(code, self.globals)  # noqa: S307 - compile-time only
+        except Exception as exc:
+            raise self.err(f"cannot evaluate type expression: {exc}",
+                           context) from exc
+        if not isinstance(result, ty.Type):
+            raise self.err(f"{result!r} is not an hls type", context)
+        return result
+
+    def _const_int(self, node, context) -> int:
+        value = self.lower_expr(node)
+        if not isinstance(value, Constant):
+            raise self.err("expected a compile-time integer constant",
+                           context)
+        return int(value.value)
+
+    def _const_list(self, node, context) -> list:
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            raise self.err("array initializer must be a list literal",
+                           context)
+        return [self._const_int(e, context) for e in node.elts]

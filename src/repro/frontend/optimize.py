@@ -1,0 +1,51 @@
+"""Front-end IR clean-up passes.
+
+The one pass that matters for the paper is *redundant FIFO check
+elimination* (section 7.3.2): ``empty()``/``full()`` calls whose result is
+never used would otherwise force the simulator to resolve a timing query
+for no observable effect.  The pass removes them (they are pure status
+queries; unlike ``read_nb``/``write_nb`` they mutate nothing).
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.function import Function
+
+
+def _count_uses(function: Function) -> dict[int, int]:
+    uses: dict[int, int] = {}
+    for instr in function.iter_instructions():
+        for op in instr.operands:
+            uses[op.vid] = uses.get(op.vid, 0) + 1
+    return uses
+
+
+def eliminate_dead_fifo_checks(function: Function) -> int:
+    """Remove FifoCanRead/FifoCanWrite instructions with unused results.
+
+    Also sweeps trivially dead pure instructions that become unused as a
+    result (e.g. the ``lnot`` wrapper the front-end adds for ``empty()``).
+    Returns the number of removed instructions.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        uses = _count_uses(function)
+        for block in function.blocks:
+            keep = []
+            for instr in block.instructions:
+                dead = False
+                if isinstance(instr, (ins.FifoCanRead, ins.FifoCanWrite)):
+                    dead = uses.get(instr.vid, 0) == 0
+                elif isinstance(instr, (ins.UnOp, ins.BinOp, ins.Cmp,
+                                        ins.Cast, ins.Select, ins.TupleGet)):
+                    dead = uses.get(instr.vid, 0) == 0
+                if dead:
+                    removed += 1
+                    changed = True
+                else:
+                    keep.append(instr)
+            block.instructions = keep
+    return removed

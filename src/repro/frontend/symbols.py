@@ -1,0 +1,66 @@
+"""Symbol table entries used during AST lowering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import types as ty
+from ..ir.values import Value
+
+
+class Symbol:
+    """Base class for name bindings inside a kernel body."""
+
+
+@dataclass
+class VarSymbol(Symbol):
+    """A mutable scalar local backed by an alloca slot."""
+
+    slot: Value  # the Alloca instruction
+    type: ty.Type
+
+
+@dataclass
+class ArraySymbol(Symbol):
+    """A local array (alloca) or array port (Argument)."""
+
+    storage: Value
+    type: ty.ArrayType
+    writable: bool = True
+
+
+@dataclass
+class StreamSymbol(Symbol):
+    """A FIFO endpoint argument; ``direction`` is 'in' or 'out'."""
+
+    arg: Value
+    direction: str
+
+
+@dataclass
+class ScalarOutSymbol(Symbol):
+    """A scalar output register argument (1-element array underneath)."""
+
+    arg: Value
+    type: ty.Type
+
+
+@dataclass
+class AxiSymbol(Symbol):
+    """An AXI master port argument."""
+
+    arg: Value
+
+
+@dataclass
+class ValueSymbol(Symbol):
+    """An immutable SSA value binding (const params, inlined In arguments)."""
+
+    value: Value
+
+
+@dataclass
+class KernelSymbol(Symbol):
+    """A reference to another kernel, callable (inlined) from this body."""
+
+    kernel: object

@@ -1,0 +1,70 @@
+"""Python-embedded HLS dialect: the user-facing design language.
+
+Typical usage::
+
+    from repro import hls
+
+    @hls.kernel
+    def producer(data: hls.BufferIn(hls.i32, 16),
+                 n: hls.Const(),
+                 out: hls.StreamOut(hls.i32)):
+        for i in range(n):
+            hls.pipeline(ii=1)
+            out.write(data[i])
+
+    d = hls.Design("example")
+    fifo = d.stream("fifo", hls.i32, depth=2)
+    data = d.buffer("data", hls.i32, 16, init=list(range(16)))
+    d.add(producer, data=data, n=16, out=fifo)
+    ...
+"""
+
+from ..ir.types import (
+    f32,
+    f64,
+    fixed,
+    i1,
+    i8,
+    i16,
+    i32,
+    i64,
+    int_type,
+    u8,
+    u16,
+    u32,
+    u64,
+)
+from .design import (
+    DEFAULT_FIFO_DEPTH,
+    AxiDecl,
+    BufferDecl,
+    Design,
+    Instance,
+    ScalarDecl,
+    StreamDecl,
+)
+from .kernel import (Kernel, array, cast, kernel, kernel_from_source,
+                     pipeline, trip_count, unroll)
+from .ports import (
+    AxiMaster,
+    Buffer,
+    BufferIn,
+    BufferOut,
+    Const,
+    In,
+    ScalarOut,
+    StreamIn,
+    StreamOut,
+)
+
+
+
+__all__ = [
+    "AxiDecl", "AxiMaster", "Buffer", "BufferDecl", "BufferIn", "BufferOut",
+    "Const", "DEFAULT_FIFO_DEPTH", "Design", "In", "Instance", "Kernel",
+    "ScalarDecl", "ScalarOut", "StreamDecl", "StreamIn", "StreamOut",
+    "array", "cast", "kernel", "kernel_from_source", "pipeline",
+    "trip_count", "unroll",
+    "f32", "f64", "fixed", "i1", "i8", "i16", "i32", "i64", "int_type",
+    "u8", "u16", "u32", "u64",
+]

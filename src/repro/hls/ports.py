@@ -1,0 +1,144 @@
+"""Port declarations for the Python-embedded HLS dialect.
+
+Kernels declare their hardware interface through parameter annotations::
+
+    @hls.kernel
+    def producer(data: hls.BufferIn(hls.i32, 2025),
+                 n: hls.Const(hls.i32),
+                 out: hls.StreamOut(hls.i32)):
+        ...
+
+Each annotation is an instance of one of the classes below.  The front-end
+maps them onto :class:`repro.ir.values.Argument` kinds; the ``Design`` layer
+uses the declared directions to validate FIFO wiring (exactly one producer
+and one consumer per stream, as required by HLS dataflow semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import types as ty
+
+
+class PortDecl:
+    """Base class for kernel port annotations."""
+
+    #: Argument kind string used in the IR (see ir.values.Argument.KINDS).
+    kind = "param"
+
+
+@dataclass(frozen=True)
+class StreamIn(PortDecl):
+    """FIFO read endpoint."""
+
+    element: ty.Type
+    kind = "stream_in"
+
+    def __str__(self):
+        return f"StreamIn({self.element})"
+
+
+@dataclass(frozen=True)
+class StreamOut(PortDecl):
+    """FIFO write endpoint."""
+
+    element: ty.Type
+    kind = "stream_out"
+
+    def __str__(self):
+        return f"StreamOut({self.element})"
+
+
+def _normalize_shape(shape) -> tuple:
+    if isinstance(shape, int):
+        return (shape,)
+    return tuple(shape)
+
+
+@dataclass(frozen=True)
+class Buffer(PortDecl):
+    """On-chip array port (BRAM-like), readable and writable."""
+
+    element: ty.Type
+    shape: tuple
+    writable: bool = True
+    kind = "buffer"
+
+    def __str__(self):
+        return f"Buffer({self.element}, {self.shape})"
+
+
+def BufferIn(element: ty.Type, shape) -> Buffer:
+    """Read-only array port."""
+    return Buffer(element, _normalize_shape(shape), writable=False)
+
+
+def BufferOut(element: ty.Type, shape) -> Buffer:
+    """Writable array port (also readable, like C pointers)."""
+    return Buffer(element, _normalize_shape(shape), writable=True)
+
+
+@dataclass(frozen=True)
+class ScalarOut(PortDecl):
+    """Single-element output register, accessed with ``.get()``/``.set()``."""
+
+    element: ty.Type
+    kind = "scalar_out"
+
+    def __str__(self):
+        return f"ScalarOut({self.element})"
+
+
+@dataclass(frozen=True)
+class Const(PortDecl):
+    """Compile-time constant parameter; the kernel is specialized per value."""
+
+    element: ty.Type = ty.i32
+    kind = "param"
+
+    def __str__(self):
+        return f"Const({self.element})"
+
+
+@dataclass(frozen=True)
+class In(PortDecl):
+    """Scalar input value.
+
+    At design top level it behaves like :class:`Const` (the value is fixed
+    for the run, like a kernel scalar argument in Vitis).  When a kernel is
+    *inlined* into another kernel, an ``In`` parameter may be bound to any
+    runtime value.
+    """
+
+    element: ty.Type = ty.i32
+    kind = "param"
+
+    def __str__(self):
+        return f"In({self.element})"
+
+
+@dataclass(frozen=True)
+class AxiMaster(PortDecl):
+    """AXI master port over off-chip memory of ``element`` values."""
+
+    element: ty.Type
+    kind = "axi"
+
+    def __str__(self):
+        return f"AxiMaster({self.element})"
+
+
+def port_ir_type(decl: PortDecl) -> ty.Type:
+    """IR type of the argument created for a port declaration."""
+    if isinstance(decl, (StreamIn, StreamOut)):
+        return ty.StreamType(decl.element)
+    if isinstance(decl, Buffer):
+        return ty.ArrayType(decl.element, decl.shape)
+    if isinstance(decl, ScalarOut):
+        return ty.ArrayType(decl.element, (1,))
+    if isinstance(decl, AxiMaster):
+        return ty.AxiType(decl.element)
+    if isinstance(decl, Const):
+        return decl.element
+    raise TypeError(f"not a port declaration: {decl!r}")

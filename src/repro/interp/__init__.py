@@ -1,0 +1,12 @@
+"""IR interpretation: functional execution with nominal timing."""
+
+from .interpreter import ModuleInterpreter
+from .ops import as_python_number, convert_scalar, eval_binop, eval_cmp
+
+__all__ = [
+    "ModuleInterpreter",
+    "as_python_number",
+    "convert_scalar",
+    "eval_binop",
+    "eval_cmp",
+]

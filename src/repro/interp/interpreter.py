@@ -1,0 +1,419 @@
+"""IR interpreter: functional execution of one module as a coroutine.
+
+This is the reproduction's analogue of the instrumented binary produced by
+OmniSim's front-end (paper section 6.1): it executes a module's IR
+functionally, computes the *nominal* (zero-stall) hardware cycle of every
+hardware-visible action from the static schedule, and emits a
+:class:`~repro.runtime.requests.Request` for each one.  Requests that need
+a response (blocking reads, non-blocking accesses, status checks, AXI
+reads) suspend the coroutine until the driving engine answers — which is
+exactly how Func Sim threads pause on queries in the paper's Fig. 7.
+
+Timing model (shared hardware contract, see DESIGN.md section 5):
+
+* events in a block happen at ``block_entry + stage``;
+* sequential control flow: next block enters at ``entry + block_latency``;
+* a pipelined loop issues iteration k at ``loop_entry + k * II``; stalls are
+  *not* modelled here — they are applied engine-side as a cumulative
+  per-module shift, preserving in-order pipeline-freeze semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulatedCrash, SimulationError
+from ..ir import instructions as ins
+from ..ir import types as ty
+from ..ir.function import BasicBlock, LoopMeta
+from ..ir.values import Argument, Constant
+from ..runtime import requests as req
+from . import ops
+
+DEFAULT_STEP_LIMIT = 200_000_000
+
+
+@dataclass
+class _PipelineFrame:
+    loop: LoopMeta
+    issue: int
+
+
+class ModuleInterpreter:
+    """Executes one compiled module instance.
+
+    ``bindings`` maps parameter names to runtime objects:
+
+    * buffer / scalar ports -> a shared flat Python list;
+    * stream ports -> the design-level FIFO name (str);
+    * AXI ports -> the design-level port name (str).
+    """
+
+    #: out-of-bounds access behaviour: "wrap" models hardware (the BRAM
+    #: address truncates, reading deterministic garbage), "crash" models
+    #: software C simulation (SIGSEGV) - see paper Table 3.
+    OOB_MODES = ("wrap", "crash")
+
+    def __init__(self, compiled_module, bindings: dict,
+                 step_limit: int = DEFAULT_STEP_LIMIT,
+                 trace_blocks: bool = False,
+                 oob_mode: str = "wrap"):
+        if oob_mode not in self.OOB_MODES:
+            raise ValueError(f"bad oob_mode {oob_mode!r}")
+        self.oob_mode = oob_mode
+        self.module = compiled_module
+        self.name = compiled_module.name
+        self.function = compiled_module.function
+        self.schedule = compiled_module.schedule
+        self.bindings = bindings
+        self.step_limit = step_limit
+        self.trace_blocks = trace_blocks
+        self.seq = 0
+        self.steps = 0
+        #: populated on normal completion with the module's nominal end time
+        self.end_nominal: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def _crash(self, message: str) -> SimulatedCrash:
+        return SimulatedCrash(message, module=self.name)
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Generator protocol: yields Requests; ``send()`` responses back."""
+        env: dict[int, object] = {}
+        memory: dict[int, object] = {}  # alloca vid -> scalar value or list
+        function = self.function
+
+        # Timing-segment state: straight-line code is one segment; each
+        # pipelined-loop iteration is its own (see repro.sim.ledger).
+        self._segment = 0
+        self._seg_base = 0
+        self._seg_pipelined = False
+
+        yield req.StartTask(self.name, self._next_seq(), 0)
+
+        block: BasicBlock = function.entry
+        prev_block: BasicBlock | None = None
+        time = 0
+        frame: _PipelineFrame | None = None
+
+        while True:
+            # --- pipeline frame management on block entry ---------------
+            if frame is not None and block not in frame.loop.blocks:
+                frame = None
+                self._new_segment(time, pipelined=False)
+            loop = block.loop
+            pipelined_loop = self._innermost_pipelined(loop)
+            if (block.is_loop_header and pipelined_loop is not None
+                    and block is pipelined_loop.header):
+                if frame is not None and frame.loop is pipelined_loop:
+                    # back edge: next iteration issues II cycles later
+                    frame.issue += pipelined_loop.ii
+                    time = frame.issue
+                    self._new_segment(time, pipelined=True)
+                else:
+                    frame = _PipelineFrame(pipelined_loop, time)
+                    self._new_segment(time, pipelined=True)
+
+            block_schedule = self.schedule.for_block(block)
+            if self.trace_blocks:
+                trace = req.TraceBlock(self.name, self._next_seq(), time,
+                                       block_label=block.label)
+                self._stamp(trace)
+                yield trace
+
+            next_block: BasicBlock | None = None
+            returned = False
+
+            for instr in block.instructions:
+                self.steps += 1
+                if self.steps > self.step_limit:
+                    raise SimulationError(
+                        f"module {self.name}: step limit exceeded "
+                        f"({self.step_limit}); the design may be livelocked"
+                    )
+                stage = block_schedule.stages.get(instr.vid, 0)
+                nominal = time + stage
+
+                if isinstance(instr, ins.EVENT_OPS):
+                    result = yield from self._run_event(
+                        instr, env, nominal, frame
+                    )
+                    if result is not _NO_VALUE:
+                        env[instr.vid] = result
+                    continue
+
+                if instr.is_terminator:
+                    if isinstance(instr, ins.Jump):
+                        next_block = instr.target
+                    elif isinstance(instr, ins.Branch):
+                        cond = self._value(instr.cond, env, memory)
+                        next_block = (instr.if_true if cond
+                                      else instr.if_false)
+                    elif isinstance(instr, ins.Ret):
+                        returned = True
+                    break
+
+                self._run_pure(instr, env, memory)
+
+            end_of_block = time + block_schedule.latency
+            if returned or next_block is None:
+                self.end_nominal = end_of_block
+                if frame is not None:
+                    # Returning from inside a pipelined loop (break/ret):
+                    # the end event belongs to post-loop straight-line time.
+                    self._new_segment(end_of_block, pipelined=False)
+                end = req.EndTask(self.name, self._next_seq(), end_of_block)
+                self._stamp(end)
+                yield end
+                return
+
+            # --- timing for the control transfer -------------------------
+            if (frame is not None and next_block is frame.loop.header):
+                # Back edge: issue advance handled at header entry.
+                pass
+            else:
+                time = end_of_block
+            prev_block, block = block, next_block
+
+    # ------------------------------------------------------------------
+
+    def _new_segment(self, base: int, pipelined: bool) -> None:
+        self._segment += 1
+        self._seg_base = base
+        self._seg_pipelined = pipelined
+
+    def _stamp(self, request: req.Request) -> None:
+        request.segment = self._segment
+        request.seg_base = self._seg_base
+        request.pipelined = self._seg_pipelined
+
+    @staticmethod
+    def _innermost_pipelined(loop: LoopMeta | None) -> LoopMeta | None:
+        while loop is not None:
+            if loop.pipelined:
+                return loop
+            loop = loop.parent
+        return None
+
+    # ------------------------------------------------------------------
+    # event ops
+
+    def _run_event(self, instr, env, nominal: int,
+                   frame: _PipelineFrame | None):
+        """Emit the request for a hardware event op; returns the env value
+        (or _NO_VALUE for void ops)."""
+        seq = self._next_seq()
+        name = self.name
+
+        if isinstance(instr, ins.FifoRead):
+            fifo = self.bindings[instr.stream.name]
+            request = req.FifoRead(name, seq, nominal, fifo=fifo)
+            self._stamp(request)
+            value = yield request
+            return value
+        if isinstance(instr, ins.FifoWrite):
+            fifo = self.bindings[instr.stream.name]
+            value = self._value(instr.value, env, None)
+            request = req.FifoWrite(name, seq, nominal, fifo=fifo,
+                                    value=value)
+            self._stamp(request)
+            yield request
+            return _NO_VALUE
+        if isinstance(instr, ins.FifoNbRead):
+            fifo = self.bindings[instr.stream.name]
+            request = req.FifoNbRead(name, seq, nominal, fifo=fifo)
+            self._stamp(request)
+            ok, value = yield request
+            if value is None:
+                value = ty.default_value(instr.type.elements[1])
+            return (int(ok), value)
+        if isinstance(instr, ins.FifoNbWrite):
+            fifo = self.bindings[instr.stream.name]
+            value = self._value(instr.value, env, None)
+            request = req.FifoNbWrite(name, seq, nominal, fifo=fifo,
+                                      value=value)
+            self._stamp(request)
+            ok = yield request
+            return int(ok)
+        if isinstance(instr, ins.FifoCanRead):
+            fifo = self.bindings[instr.stream.name]
+            request = req.FifoCanRead(name, seq, nominal, fifo=fifo)
+            self._stamp(request)
+            ok = yield request
+            return int(ok)
+        if isinstance(instr, ins.FifoCanWrite):
+            fifo = self.bindings[instr.stream.name]
+            request = req.FifoCanWrite(name, seq, nominal, fifo=fifo)
+            self._stamp(request)
+            ok = yield request
+            return int(ok)
+        if isinstance(instr, ins.AxiReadReq):
+            port = self.bindings[instr.port.name]
+            offset = self._value(instr.offset, env, None)
+            length = self._value(instr.length, env, None)
+            request = req.AxiReadReq(name, seq, nominal, port=port,
+                                     offset=offset, length=length)
+            self._stamp(request)
+            yield request
+            return _NO_VALUE
+        if isinstance(instr, ins.AxiRead):
+            port = self.bindings[instr.port.name]
+            request = req.AxiRead(name, seq, nominal, port=port)
+            self._stamp(request)
+            value = yield request
+            return value
+        if isinstance(instr, ins.AxiWriteReq):
+            port = self.bindings[instr.port.name]
+            offset = self._value(instr.offset, env, None)
+            length = self._value(instr.length, env, None)
+            request = req.AxiWriteReq(name, seq, nominal, port=port,
+                                      offset=offset, length=length)
+            self._stamp(request)
+            yield request
+            return _NO_VALUE
+        if isinstance(instr, ins.AxiWrite):
+            port = self.bindings[instr.port.name]
+            value = self._value(instr.value, env, None)
+            request = req.AxiWrite(name, seq, nominal, port=port,
+                                   value=value)
+            self._stamp(request)
+            yield request
+            return _NO_VALUE
+        if isinstance(instr, ins.AxiWriteResp):
+            port = self.bindings[instr.port.name]
+            request = req.AxiWriteResp(name, seq, nominal, port=port)
+            self._stamp(request)
+            yield request
+            return _NO_VALUE
+        raise SimulationError(f"unknown event op {instr.opname}")
+
+    # ------------------------------------------------------------------
+    # pure ops
+
+    def _run_pure(self, instr, env, memory) -> None:
+        if isinstance(instr, ins.Alloca):
+            if isinstance(instr.allocated, ty.ArrayType):
+                memory[instr.vid] = [
+                    ty.default_value(instr.allocated.element)
+                ] * instr.allocated.size
+            else:
+                memory[instr.vid] = ty.default_value(instr.allocated)
+            return
+        if isinstance(instr, ins.Load):
+            env[instr.vid] = self._load(instr, env, memory)
+            return
+        if isinstance(instr, ins.Store):
+            self._store(instr, env, memory)
+            return
+        if isinstance(instr, ins.BinOp):
+            a = self._value(instr.operands[0], env, memory)
+            b = self._value(instr.operands[1], env, memory)
+            env[instr.vid] = ops.eval_binop(instr.op, a, b, instr.type)
+            return
+        if isinstance(instr, ins.Cmp):
+            a = self._value(instr.operands[0], env, memory)
+            b = self._value(instr.operands[1], env, memory)
+            env[instr.vid] = ops.eval_cmp(instr.op, a, b,
+                                          instr.operands[0].type)
+            return
+        if isinstance(instr, ins.UnOp):
+            a = self._value(instr.operands[0], env, memory)
+            env[instr.vid] = ops.eval_unop(instr.op, a,
+                                           instr.operands[0].type)
+            return
+        if isinstance(instr, ins.Cast):
+            a = self._value(instr.operands[0], env, memory)
+            env[instr.vid] = ops.convert_scalar(a, instr.operands[0].type,
+                                                instr.type)
+            return
+        if isinstance(instr, ins.Select):
+            cond = self._value(instr.operands[0], env, memory)
+            pick = instr.operands[1] if cond else instr.operands[2]
+            env[instr.vid] = self._value(pick, env, memory)
+            return
+        if isinstance(instr, ins.TupleGet):
+            agg = self._value(instr.operands[0], env, memory)
+            env[instr.vid] = agg[instr.index]
+            return
+        if isinstance(instr, ins.Assert):
+            cond = self._value(instr.operands[0], env, memory)
+            if not cond:
+                raise self._crash(f"assertion failed: {instr.message}")
+            return
+        raise SimulationError(
+            f"module {self.name}: cannot execute {instr.opname}"
+        )
+
+    # ------------------------------------------------------------------
+    # values & memory
+
+    def _value(self, value, env, memory):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, ins.Instruction):
+            if value.vid in env:
+                return env[value.vid]
+            raise SimulationError(
+                f"module {self.name}: use of unevaluated value "
+                f"{value.short()}"
+            )
+        raise SimulationError(
+            f"module {self.name}: cannot evaluate operand {value!r}"
+        )
+
+    def _storage_list(self, target, memory):
+        """Resolve the Python list backing an array storage."""
+        if isinstance(target, Argument):
+            return self.bindings[target.name]
+        if isinstance(target, ins.Alloca):
+            return memory[target.vid]
+        raise SimulationError(f"bad storage operand {target!r}")
+
+    def _check_index(self, target, index: int, size: int, what: str) -> int:
+        if 0 <= index < size:
+            return index
+        if self.oob_mode == "crash":
+            raise self._crash(
+                f"out-of-bounds {what}: {target.name or target.short()}"
+                f"[{index}] (size {size})"
+            )
+        # Hardware semantics: the address truncates to the storage size.
+        return index % size
+
+    def _load(self, instr: ins.Load, env, memory):
+        target = instr.pointer
+        if instr.index is None:
+            # Scalar alloca.
+            return memory[target.vid]
+        index = self._value(instr.index, env, memory)
+        storage = self._storage_list(target, memory)
+        index = self._check_index(target, index, len(storage), "read")
+        return storage[index]
+
+    def _store(self, instr: ins.Store, env, memory):
+        target = instr.pointer
+        value = self._value(instr.value, env, memory)
+        if instr.index is None:
+            memory[target.vid] = value
+            return
+        index = self._value(instr.index, env, memory)
+        storage = self._storage_list(target, memory)
+        index = self._check_index(target, index, len(storage), "write")
+        storage[index] = value
+
+
+class _NoValue:
+    __slots__ = ()
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return "<no value>"
+
+
+_NO_VALUE = _NoValue()

@@ -1,0 +1,27 @@
+"""LLVM-flavoured intermediate representation for HLS modules.
+
+The front-end (:mod:`repro.frontend`) lowers the Python-embedded HLS dialect
+into this IR; the scheduler (:mod:`repro.synthesis`) annotates it with a
+static schedule; the interpreter (:mod:`repro.interp`) executes it.
+"""
+
+from . import instructions, types
+from .builder import IRBuilder
+from .function import BasicBlock, Function, LoopMeta
+from .printer import function_to_text
+from .values import Argument, Constant, Value
+from .verifier import verify_function
+
+__all__ = [
+    "Argument",
+    "BasicBlock",
+    "Constant",
+    "Function",
+    "IRBuilder",
+    "LoopMeta",
+    "Value",
+    "function_to_text",
+    "instructions",
+    "types",
+    "verify_function",
+]

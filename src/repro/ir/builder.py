@@ -1,0 +1,127 @@
+"""Convenience builder used by the front-end to emit IR."""
+
+from __future__ import annotations
+
+from .. import errors
+from . import instructions as ins
+from . import types as ty
+from .function import BasicBlock, Function
+from .values import Constant, Value
+
+
+class IRBuilder:
+    """Appends instructions to a current block of a function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.block: BasicBlock | None = None
+
+    # --- blocks --------------------------------------------------------
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        return self.function.add_block(BasicBlock(label))
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def emit(self, instr: ins.Instruction) -> ins.Instruction:
+        if self.block is None:
+            raise RuntimeError("no current block")
+        return self.block.append(instr)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.block is not None and self.block.is_terminated
+
+    # --- constants & coercion -------------------------------------------
+
+    def const(self, type_: ty.Type, value) -> Constant:
+        return Constant(type_, value)
+
+    def coerce(self, value: Value, to: ty.Type) -> Value:
+        """Insert a cast if ``value`` is not already of type ``to``."""
+        if value.type == to:
+            return value
+        if not (value.type.is_scalar and to.is_scalar):
+            raise errors.TypeCheckError(
+                f"cannot convert {value.type} to {to}"
+            )
+        if isinstance(value, Constant):
+            return self._fold_constant_cast(value, to)
+        return self.emit(ins.Cast(value, to))
+
+    def _fold_constant_cast(self, value: Constant, to: ty.Type) -> Constant:
+        from ..interp.ops import convert_scalar
+
+        return Constant(to, convert_scalar(value.value, value.type, to))
+
+    # --- arithmetic ------------------------------------------------------
+
+    def binop(self, op: str, a: Value, b: Value) -> Value:
+        result_type = ty.common_type(a.type, b.type)
+        a = self.coerce(a, result_type)
+        b = self.coerce(b, result_type)
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            from ..interp.ops import eval_binop
+
+            return Constant(result_type, eval_binop(op, a.value, b.value,
+                                                    result_type))
+        return self.emit(ins.BinOp(op, a, b, result_type))
+
+    def cmp(self, op: str, a: Value, b: Value) -> Value:
+        result_type = ty.common_type(a.type, b.type)
+        a = self.coerce(a, result_type)
+        b = self.coerce(b, result_type)
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            from ..interp.ops import eval_cmp
+
+            return Constant(ty.i1, eval_cmp(op, a.value, b.value, result_type))
+        return self.emit(ins.Cmp(op, a, b))
+
+    def unop(self, op: str, a: Value) -> Value:
+        type_ = ty.i1 if op == "lnot" else a.type
+        if op == "lnot":
+            a = self.to_bool(a)
+        return self.emit(ins.UnOp(op, a, type_))
+
+    def select(self, cond: Value, a: Value, b: Value) -> Value:
+        result_type = ty.common_type(a.type, b.type)
+        a = self.coerce(a, result_type)
+        b = self.coerce(b, result_type)
+        return self.emit(ins.Select(self.to_bool(cond), a, b))
+
+    def to_bool(self, value: Value) -> Value:
+        if value.type == ty.i1:
+            return value
+        zero = self.const(value.type, 0)
+        return self.emit(ins.Cmp("ne", value, zero))
+
+    # --- memory ----------------------------------------------------------
+
+    def alloca(self, allocated: ty.Type, name: str = "") -> Value:
+        return self.emit(ins.Alloca(allocated, name))
+
+    def load(self, target: Value, index: Value | None = None, name="") -> Value:
+        return self.emit(ins.Load(target, index, name))
+
+    def store(self, target: Value, value: Value, index: Value | None = None):
+        elem = target.type
+        if isinstance(elem, ty.ArrayType):
+            elem = elem.element
+        if isinstance(target, ins.Alloca):
+            elem = target.allocated
+            if isinstance(elem, ty.ArrayType):
+                elem = elem.element
+        value = self.coerce(value, elem)
+        return self.emit(ins.Store(target, value, index))
+
+    # --- control flow ------------------------------------------------------
+
+    def jump(self, target: BasicBlock):
+        return self.emit(ins.Jump(target))
+
+    def branch(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock):
+        return self.emit(ins.Branch(self.to_bool(cond), if_true, if_false))
+
+    def ret(self, value: Value | None = None):
+        return self.emit(ins.Ret(value))

@@ -1,0 +1,417 @@
+"""Instruction set of the reproduction IR.
+
+Ordinary computation mirrors LLVM (binary ops, compares, casts, selects,
+memory ops, structured branches).  Hardware interaction is expressed with
+first-class intrinsic instructions matching the request taxonomy of the
+paper's Table 1: blocking and non-blocking FIFO accesses, FIFO status
+queries, and the five AXI operations.
+"""
+
+from __future__ import annotations
+
+from .. import errors
+from . import types as ty
+from .values import Value
+
+
+class Instruction(Value):
+    """Base instruction.  ``operands`` are the SSA inputs."""
+
+    __slots__ = ("operands", "block")
+
+    #: Mnemonic, overridden per subclass.
+    opname = "instr"
+    #: True if the instruction has an externally visible effect and must keep
+    #: program order with other side-effecting instructions.
+    has_side_effect = False
+    #: True if the instruction ends a basic block.
+    is_terminator = False
+
+    def __init__(self, type_: ty.Type, operands, name: str = ""):
+        super().__init__(type_, name)
+        self.operands = list(operands)
+        self.block = None
+
+    def render(self) -> str:
+        ops = ", ".join(o.short() for o in self.operands)
+        lhs = "" if isinstance(self.type, ty.VoidType) else f"{self.short()} = "
+        return f"{lhs}{self.opname} {ops}".rstrip()
+
+
+# --- arithmetic / logic ------------------------------------------------------
+
+BINARY_OPS = {
+    "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+}
+
+CMP_OPS = {"eq", "ne", "lt", "le", "gt", "ge"}
+
+
+class BinOp(Instruction):
+    __slots__ = ("op",)
+    has_side_effect = False
+
+    def __init__(self, op: str, a: Value, b: Value, type_: ty.Type, name=""):
+        if op not in BINARY_OPS:
+            raise errors.TypeCheckError(f"unknown binary op {op!r}")
+        super().__init__(type_, [a, b], name)
+        self.op = op
+
+    @property
+    def opname(self):
+        return self.op
+
+
+class Cmp(Instruction):
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, a: Value, b: Value, name=""):
+        if op not in CMP_OPS:
+            raise errors.TypeCheckError(f"unknown compare op {op!r}")
+        super().__init__(ty.i1, [a, b], name)
+        self.op = op
+
+    @property
+    def opname(self):
+        return f"cmp.{self.op}"
+
+
+class UnOp(Instruction):
+    """Unary negate / bitwise-not / logical-not."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, a: Value, type_: ty.Type, name=""):
+        if op not in ("neg", "not", "lnot"):
+            raise errors.TypeCheckError(f"unknown unary op {op!r}")
+        super().__init__(type_, [a], name)
+        self.op = op
+
+    @property
+    def opname(self):
+        return self.op
+
+
+class Cast(Instruction):
+    """Numeric conversion between any two scalar types."""
+
+    opname = "cast"
+
+    def __init__(self, value: Value, to: ty.Type, name=""):
+        super().__init__(to, [value], name)
+
+    def render(self):
+        return f"{self.short()} = cast {self.operands[0].short()} to {self.type}"
+
+
+class Select(Instruction):
+    opname = "select"
+
+    def __init__(self, cond: Value, a: Value, b: Value, name=""):
+        super().__init__(a.type, [cond, a, b], name)
+
+
+class TupleGet(Instruction):
+    """Extract element ``index`` from a tuple-typed value (NB read results)."""
+
+    __slots__ = ("index",)
+    opname = "tupleget"
+
+    def __init__(self, agg: Value, index: int, name=""):
+        if not isinstance(agg.type, ty.TupleType):
+            raise errors.TypeCheckError("tupleget requires a tuple value")
+        super().__init__(agg.type.elements[index], [agg], name)
+        self.index = index
+
+    def render(self):
+        return f"{self.short()} = tupleget {self.operands[0].short()}, {self.index}"
+
+
+# --- memory ------------------------------------------------------------------
+
+class Alloca(Instruction):
+    """Stack slot for a scalar or a local array."""
+
+    opname = "alloca"
+
+    def __init__(self, allocated: ty.Type, name=""):
+        self.allocated = allocated
+        super().__init__(allocated, [], name)
+
+    __slots__ = ("allocated",)
+
+    def render(self):
+        return f"{self.short()} = alloca {self.allocated}"
+
+
+class Load(Instruction):
+    """Load a scalar slot (no index) or an array element (with index)."""
+
+    opname = "load"
+    has_side_effect = False  # ordering handled via memory dependence analysis
+
+    def __init__(self, target: Value, index: Value | None = None, name=""):
+        elem = target.type
+        if isinstance(elem, ty.ArrayType):
+            if index is None:
+                raise errors.TypeCheckError("array load requires an index")
+            elem = elem.element
+        operands = [target] + ([index] if index is not None else [])
+        super().__init__(elem, operands, name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value | None:
+        return self.operands[1] if len(self.operands) > 1 else None
+
+
+class Store(Instruction):
+    opname = "store"
+    has_side_effect = True
+
+    def __init__(self, target: Value, value: Value, index: Value | None = None):
+        operands = [target, value] + ([index] if index is not None else [])
+        super().__init__(ty.void, operands)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def index(self) -> Value | None:
+        return self.operands[2] if len(self.operands) > 2 else None
+
+
+# --- control flow ------------------------------------------------------------
+
+class Jump(Instruction):
+    opname = "br"
+    is_terminator = True
+    has_side_effect = True
+
+    def __init__(self, target):
+        super().__init__(ty.void, [])
+        self.target = target
+
+    __slots__ = ("target",)
+
+    def render(self):
+        return f"br {self.target.label}"
+
+
+class Branch(Instruction):
+    opname = "condbr"
+    is_terminator = True
+    has_side_effect = True
+
+    def __init__(self, cond: Value, if_true, if_false):
+        super().__init__(ty.void, [cond])
+        self.if_true = if_true
+        self.if_false = if_false
+
+    __slots__ = ("if_true", "if_false")
+
+    @property
+    def cond(self):
+        return self.operands[0]
+
+    def render(self):
+        return (
+            f"condbr {self.cond.short()}, "
+            f"{self.if_true.label}, {self.if_false.label}"
+        )
+
+
+class Ret(Instruction):
+    opname = "ret"
+    is_terminator = True
+    has_side_effect = True
+
+    def __init__(self, value: Value | None = None):
+        super().__init__(ty.void, [value] if value is not None else [])
+
+    @property
+    def value(self):
+        return self.operands[0] if self.operands else None
+
+
+class Assert(Instruction):
+    """Simulation-time assertion (models the ``assert()`` HLS benchmark)."""
+
+    __slots__ = ("message",)
+    opname = "assert"
+    has_side_effect = True
+
+    def __init__(self, cond: Value, message: str = "assertion failed"):
+        super().__init__(ty.void, [cond])
+        self.message = message
+
+
+# --- FIFO intrinsics (paper Table 1) ----------------------------------------
+
+class FifoOp(Instruction):
+    """Base for all FIFO intrinsics; ``stream`` is a stream-typed argument."""
+
+    __slots__ = ()
+    has_side_effect = True
+
+    @property
+    def stream(self) -> Value:
+        return self.operands[0]
+
+
+class FifoRead(FifoOp):
+    """Blocking read: stalls the module until data is available."""
+
+    opname = "fifo.read"
+
+    def __init__(self, stream: Value, name=""):
+        super().__init__(stream.type.element, [stream], name)
+
+
+class FifoWrite(FifoOp):
+    """Blocking write: stalls the module until space is available."""
+
+    opname = "fifo.write"
+
+    def __init__(self, stream: Value, value: Value):
+        super().__init__(ty.void, [stream, value])
+
+    @property
+    def value(self):
+        return self.operands[1]
+
+
+class FifoNbRead(FifoOp):
+    """Non-blocking read; yields an ``(ok, data)`` tuple value."""
+
+    opname = "fifo.read_nb"
+
+    def __init__(self, stream: Value, name=""):
+        result = ty.TupleType((ty.i1, stream.type.element))
+        super().__init__(result, [stream], name)
+
+
+class FifoNbWrite(FifoOp):
+    """Non-blocking write; yields an ``ok`` boolean."""
+
+    opname = "fifo.write_nb"
+
+    def __init__(self, stream: Value, value: Value, name=""):
+        super().__init__(ty.i1, [stream, value], name)
+
+    @property
+    def value(self):
+        return self.operands[1]
+
+
+class FifoCanRead(FifoOp):
+    """``!stream.empty()`` status query (cycle-dependent, see Table 1)."""
+
+    opname = "fifo.can_read"
+
+    def __init__(self, stream: Value, name=""):
+        super().__init__(ty.i1, [stream], name)
+
+
+class FifoCanWrite(FifoOp):
+    """``!stream.full()`` status query."""
+
+    opname = "fifo.can_write"
+
+    def __init__(self, stream: Value, name=""):
+        super().__init__(ty.i1, [stream], name)
+
+
+FIFO_QUERY_OPS = (FifoNbRead, FifoNbWrite, FifoCanRead, FifoCanWrite)
+
+
+# --- AXI intrinsics ----------------------------------------------------------
+
+class AxiOp(Instruction):
+    __slots__ = ()
+    has_side_effect = True
+
+    @property
+    def port(self) -> Value:
+        return self.operands[0]
+
+
+class AxiReadReq(AxiOp):
+    """Issue a burst read request of ``length`` beats starting at ``offset``."""
+
+    opname = "axi.read_req"
+
+    def __init__(self, port: Value, offset: Value, length: Value):
+        super().__init__(ty.void, [port, offset, length])
+
+    @property
+    def offset(self):
+        return self.operands[1]
+
+    @property
+    def length(self):
+        return self.operands[2]
+
+
+class AxiRead(AxiOp):
+    """Consume the next beat of an outstanding read burst (may stall)."""
+
+    opname = "axi.read"
+
+    def __init__(self, port: Value, name=""):
+        super().__init__(port.type.element, [port], name)
+
+
+class AxiWriteReq(AxiOp):
+    opname = "axi.write_req"
+
+    def __init__(self, port: Value, offset: Value, length: Value):
+        super().__init__(ty.void, [port, offset, length])
+
+    @property
+    def offset(self):
+        return self.operands[1]
+
+    @property
+    def length(self):
+        return self.operands[2]
+
+
+class AxiWrite(AxiOp):
+    """Send the next beat of an outstanding write burst."""
+
+    opname = "axi.write"
+
+    def __init__(self, port: Value, value: Value):
+        super().__init__(ty.void, [port, value])
+
+    @property
+    def value(self):
+        return self.operands[1]
+
+
+class AxiWriteResp(AxiOp):
+    """Wait for the write response of the last write burst."""
+
+    opname = "axi.write_resp"
+
+    def __init__(self, port: Value):
+        super().__init__(ty.void, [port])
+
+
+AXI_OPS = (AxiReadReq, AxiRead, AxiWriteReq, AxiWrite, AxiWriteResp)
+
+#: Instructions that interact with simulated hardware time.  These are the
+#: events tracked by the FIFO tables and the simulation graph.
+EVENT_OPS = (
+    FifoRead, FifoWrite, FifoNbRead, FifoNbWrite, FifoCanRead, FifoCanWrite,
+) + AXI_OPS

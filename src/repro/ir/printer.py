@@ -1,0 +1,26 @@
+"""Textual rendering of IR functions, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .function import Function
+
+
+def function_to_text(function: Function) -> str:
+    """Render a function in an LLVM-flavoured textual form."""
+    lines = []
+    params = ", ".join(
+        f"{p.kind} {p.name}: {p.type}" for p in function.params
+    )
+    lines.append(f"func @{function.name}({params}) {{")
+    for block in function.blocks:
+        annotations = []
+        if block.is_loop_header and block.loop is not None:
+            loop = block.loop
+            pragma = f"pipeline ii={loop.ii}" if loop.pipelined else "no-pipeline"
+            annotations.append(f"loop[{pragma}]")
+        suffix = ("  ; " + " ".join(annotations)) if annotations else ""
+        lines.append(f"{block.label}:{suffix}")
+        for instr in block.instructions:
+            lines.append(f"  {instr.render()}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Core SSA value classes for the IR.
+
+The IR is deliberately close to LLVM at ``-O0``: mutable program variables
+live in :class:`~repro.ir.instructions.Alloca` slots accessed via loads and
+stores, so no phi nodes are needed.  Every instruction *is* a value (possibly
+of void type).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from . import types as ty
+
+_value_counter = itertools.count()
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    __slots__ = ("type", "name", "vid")
+
+    def __init__(self, type_: ty.Type, name: str = ""):
+        self.type = type_
+        self.name = name
+        self.vid = next(_value_counter)
+
+    def short(self) -> str:
+        return f"%{self.name or self.vid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.short()}: {self.type}>"
+
+
+class Constant(Value):
+    """Immediate constant.  ``value`` is stored in interpreter representation
+    (raw scaled int for fixed-point types)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: ty.Type, value):
+        super().__init__(type_, "")
+        if isinstance(type_, ty.IntType):
+            value = type_.wrap(value)
+        elif isinstance(type_, ty.FixedType):
+            value = type_.wrap_raw(value)
+        elif isinstance(type_, ty.FloatType):
+            value = type_.wrap(value)
+        self.value = value
+
+    def short(self) -> str:
+        if isinstance(self.type, ty.FixedType):
+            return f"{self.type.to_float(self.value)}:{self.type}"
+        return f"{self.value}:{self.type}"
+
+
+class Argument(Value):
+    """A function parameter.  ``kind`` distinguishes hardware port classes;
+    see :mod:`repro.hls.ports` for the user-facing declarations."""
+
+    __slots__ = ("kind", "index")
+
+    #: Recognised argument kinds.
+    KINDS = (
+        "stream_in",
+        "stream_out",
+        "buffer",       # array in/out (BRAM-like)
+        "scalar_out",   # single-element output register
+        "axi",          # AXI master port
+        "param",        # compile-time constant (resolved before scheduling)
+    )
+
+    def __init__(self, type_: ty.Type, name: str, kind: str, index: int):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown argument kind {kind!r}")
+        super().__init__(type_, name)
+        self.kind = kind
+        self.index = index
+
+    def short(self) -> str:
+        return f"%{self.name}"

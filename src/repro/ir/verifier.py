@@ -1,0 +1,135 @@
+"""Structural verifier for IR functions.
+
+Run after front-end lowering; catches malformed CFGs and type errors early
+so the scheduler and interpreter can assume well-formed input.
+"""
+
+from __future__ import annotations
+
+from ..errors import VerificationError
+from . import instructions as ins
+from . import types as ty
+from .function import Function
+from .values import Argument, Constant
+
+
+def verify_function(function: Function) -> None:
+    """Raise :class:`VerificationError` if the function is malformed."""
+    if not function.blocks:
+        raise VerificationError(f"{function.name}: function has no blocks")
+
+    block_set = set(function.blocks)
+    defined = set()
+    for param in function.params:
+        defined.add(param.vid)
+
+    for block in function.blocks:
+        if block.terminator is None:
+            raise VerificationError(
+                f"{function.name}/{block.label}: missing terminator"
+            )
+        for i, instr in enumerate(block.instructions):
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{function.name}/{block.label}: terminator not last"
+                )
+            _check_operands(function, block, instr)
+            defined.add(instr.vid)
+        for succ in block.successors():
+            if succ not in block_set:
+                raise VerificationError(
+                    f"{function.name}/{block.label}: branch to foreign block "
+                    f"{succ.label}"
+                )
+
+    _check_definitions_reach_uses(function)
+    _check_loops(function)
+
+
+def _check_operands(function, block, instr) -> None:
+    for op in instr.operands:
+        if op is None:
+            raise VerificationError(
+                f"{function.name}/{block.label}: null operand in "
+                f"{instr.render()}"
+            )
+    if isinstance(instr, ins.FifoOp):
+        if not isinstance(instr.stream.type, ty.StreamType):
+            raise VerificationError(
+                f"{function.name}: FIFO op on non-stream operand "
+                f"{instr.stream.short()}"
+            )
+    if isinstance(instr, ins.AxiOp):
+        if not isinstance(instr.port.type, ty.AxiType):
+            raise VerificationError(
+                f"{function.name}: AXI op on non-AXI operand "
+                f"{instr.port.short()}"
+            )
+    if isinstance(instr, ins.BinOp):
+        a, b = instr.operands
+        if a.type != b.type:
+            raise VerificationError(
+                f"{function.name}: binop operand type mismatch "
+                f"{a.type} vs {b.type}"
+            )
+
+
+def _check_definitions_reach_uses(function: Function) -> None:
+    """Approximate dominance check: every operand must be defined by a
+    parameter, a constant, or an instruction appearing earlier in the
+    function's block order.  The front-end emits blocks in a topological
+    order of the acyclic condensation (loop bodies follow headers), and
+    values never flow from a later block backwards except through memory,
+    so this linear check is sound for front-end-generated code."""
+    seen = {p.vid for p in function.params}
+    instr_positions = {}
+    for position, instr in enumerate(function.iter_instructions()):
+        instr_positions[instr.vid] = position
+
+    position = 0
+    for instr in function.iter_instructions():
+        for op in instr.operands:
+            if isinstance(op, (Constant, Argument)):
+                continue
+            if op.vid not in instr_positions:
+                raise VerificationError(
+                    f"{function.name}: operand {op.short()} of "
+                    f"{instr.render()} is not defined in this function"
+                )
+            if instr_positions[op.vid] >= position and op.vid != instr.vid:
+                # Defined later in layout order: only legal through loops,
+                # which the front-end never generates for SSA values.
+                raise VerificationError(
+                    f"{function.name}: use of {op.short()} before definition"
+                )
+        seen.add(instr.vid)
+        position += 1
+
+
+def _check_loops(function: Function) -> None:
+    for loop in function.loops:
+        if loop.header not in loop.blocks:
+            raise VerificationError(
+                f"{function.name}: loop header {loop.header.label} not in "
+                "member set"
+            )
+        if loop.pipelined:
+            for inner in function.loops:
+                if inner is not loop and loop.header in _ancestors(inner):
+                    raise VerificationError(
+                        f"{function.name}: pipelined loop "
+                        f"{loop.header.label} contains another loop"
+                    )
+            if loop.ii < 1:
+                raise VerificationError(
+                    f"{function.name}: loop II must be >= 1, got {loop.ii}"
+                )
+
+
+def _ancestors(loop):
+    seen = []
+    current = loop.parent
+    while current is not None:
+        seen.append(current.header)
+        current = current.parent
+    return seen

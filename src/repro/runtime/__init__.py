@@ -1,0 +1,13 @@
+"""Runtime library substrate: FIFO channels, AXI ports, request types."""
+
+from .axi import AxiPort
+from .fifo import FifoChannel
+from .requests import ALL_REQUEST_TYPES, QUERY_TYPES, Request
+
+__all__ = [
+    "ALL_REQUEST_TYPES",
+    "AxiPort",
+    "FifoChannel",
+    "QUERY_TYPES",
+    "Request",
+]

@@ -1,0 +1,164 @@
+"""Request taxonomy: what Func Sim threads send to the Perf Sim thread.
+
+This mirrors the paper's Table 1 exactly.  Every hardware-visible action of
+a module's functional execution becomes a :class:`Request`; requests whose
+outcome depends on hardware timing (the last three rows of Table 1, plus
+the FIFO status checks) are *queries* and may pause the issuing thread.
+
+============== ==============================================  ======
+Request        Description                                     Query?
+============== ==============================================  ======
+TraceBlock     A basic block was executed
+StartTask      A dataflow task started in a new thread
+FifoRead       FIFO was read from (blocking)
+FifoWrite      FIFO was written to (blocking)
+AxiReadReq     A read request issued on AXI
+AxiWriteReq    A write request issued on AXI
+AxiRead        AXI was read from
+AxiWrite       AXI was written to
+AxiWriteResp   A write response was issued on AXI
+FifoCanRead    Query for FIFO empty                            yes
+FifoCanWrite   Query for FIFO full                             yes
+FifoNbRead     An NB FIFO read attempted                       yes
+FifoNbWrite    An NB FIFO write attempted                      yes
+EndTask        A dataflow task finished
+============== ==============================================  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Request:
+    """Base request; ``nominal`` is the zero-stall cycle computed by the
+    issuing Func Sim thread from the static schedule.
+
+    ``segment``/``seg_base``/``pipelined`` describe the timing segment the
+    event belongs to (straight-line region or one pipelined-loop
+    iteration); see :mod:`repro.sim.ledger` for the timing contract.
+    """
+
+    module: str
+    seq: int
+    nominal: int
+    segment: int = 0
+    seg_base: int = 0
+    pipelined: bool = False
+
+    #: Overridden by subclasses; True if resolving this request requires
+    #: exact hardware timing (it may pause the thread).
+    is_query = False
+    #: True if the interpreter needs a response value to continue.
+    needs_response = False
+    kind = "request"
+
+
+@dataclass(slots=True)
+class TraceBlock(Request):
+    block_label: str = ""
+    kind = "trace_block"
+
+
+@dataclass(slots=True)
+class StartTask(Request):
+    kind = "start_task"
+
+
+@dataclass(slots=True)
+class EndTask(Request):
+    kind = "end_task"
+
+
+@dataclass(slots=True)
+class FifoRead(Request):
+    fifo: str = ""
+    kind = "fifo_read"
+    needs_response = True  # the value
+
+
+@dataclass(slots=True)
+class FifoWrite(Request):
+    fifo: str = ""
+    value: object = None
+    kind = "fifo_write"
+
+
+@dataclass(slots=True)
+class FifoNbRead(Request):
+    fifo: str = ""
+    kind = "fifo_nb_read"
+    is_query = True
+    needs_response = True  # (ok, value)
+
+
+@dataclass(slots=True)
+class FifoNbWrite(Request):
+    fifo: str = ""
+    value: object = None
+    kind = "fifo_nb_write"
+    is_query = True
+    needs_response = True  # ok
+
+
+@dataclass(slots=True)
+class FifoCanRead(Request):
+    fifo: str = ""
+    kind = "fifo_can_read"
+    is_query = True
+    needs_response = True  # bool
+
+
+@dataclass(slots=True)
+class FifoCanWrite(Request):
+    fifo: str = ""
+    kind = "fifo_can_write"
+    is_query = True
+    needs_response = True  # bool
+
+
+@dataclass(slots=True)
+class AxiReadReq(Request):
+    port: str = ""
+    offset: int = 0
+    length: int = 0
+    kind = "axi_read_req"
+
+
+@dataclass(slots=True)
+class AxiRead(Request):
+    port: str = ""
+    kind = "axi_read"
+    needs_response = True  # the beat value
+
+
+@dataclass(slots=True)
+class AxiWriteReq(Request):
+    port: str = ""
+    offset: int = 0
+    length: int = 0
+    kind = "axi_write_req"
+
+
+@dataclass(slots=True)
+class AxiWrite(Request):
+    port: str = ""
+    value: object = None
+    kind = "axi_write"
+
+
+@dataclass(slots=True)
+class AxiWriteResp(Request):
+    port: str = ""
+    kind = "axi_write_resp"
+
+
+ALL_REQUEST_TYPES = (
+    TraceBlock, StartTask, EndTask,
+    FifoRead, FifoWrite, FifoNbRead, FifoNbWrite,
+    FifoCanRead, FifoCanWrite,
+    AxiReadReq, AxiRead, AxiWriteReq, AxiWrite, AxiWriteResp,
+)
+
+QUERY_TYPES = (FifoNbRead, FifoNbWrite, FifoCanRead, FifoCanWrite)

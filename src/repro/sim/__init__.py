@@ -1,0 +1,34 @@
+"""Simulation engines: OmniSim core plus the three baselines.
+
+=================  ========================================================
+Engine             Role (paper reference)
+=================  ========================================================
+OmniSimulator      the contribution: coupled Func+Perf sim (sections 5-7)
+CoSimulator        cycle-stepped oracle standing in for C/RTL co-sim
+CSimulator         Vitis-like sequential C simulation (Table 3 baseline)
+LightningSimulator decoupled two-phase baseline (section 5.1, Table 5)
+=================  ========================================================
+"""
+
+from .cosim import CoSimulator
+from .csim import CSimulator
+from .incremental import IncrementalResult, resimulate
+from .lightningsim import LightningSimulator
+from .naive import NaiveThreadedSimulator
+from .omnisim import OmniSimulator
+from .result import Constraint, SimulationResult, SimulationStats
+from .thread_executor import ThreadedOmniSimulator
+
+__all__ = [
+    "CSimulator",
+    "CoSimulator",
+    "Constraint",
+    "IncrementalResult",
+    "LightningSimulator",
+    "NaiveThreadedSimulator",
+    "OmniSimulator",
+    "SimulationResult",
+    "SimulationStats",
+    "ThreadedOmniSimulator",
+    "resimulate",
+]

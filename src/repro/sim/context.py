@@ -1,0 +1,110 @@
+"""Shared runtime-state construction for all simulation engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hls import ports as port_decls
+from ..interp.ops import as_python_number
+from ..ir import types as ty
+from ..runtime.axi import AxiPort
+from ..runtime.fifo import FifoChannel
+
+
+@dataclass
+class RuntimeState:
+    """Materialized design state: FIFOs, AXI ports, buffers, scalars."""
+
+    fifos: dict = field(default_factory=dict)
+    axis: dict = field(default_factory=dict)
+    buffers: dict = field(default_factory=dict)
+    scalars: dict = field(default_factory=dict)
+    #: module name -> {param name -> runtime object or channel name}
+    bindings: dict = field(default_factory=dict)
+
+
+def _initial_value(element: ty.Type, raw):
+    """Convert a user-provided init value into interpreter representation."""
+    if isinstance(element, ty.FixedType):
+        if isinstance(raw, float):
+            return element.from_float(raw)
+        return element.wrap_raw(int(raw) << max(element.frac_bits, 0))
+    if isinstance(element, ty.FloatType):
+        return element.wrap(float(raw))
+    return element.wrap(int(raw))
+
+
+def build_runtime_state(compiled, depths: dict | None = None,
+                        infinite_fifos: bool = False) -> RuntimeState:
+    """Instantiate FIFO/AXI/buffer/scalar state for one simulation run.
+
+    ``depths`` overrides per-FIFO depths (incremental-simulation studies);
+    ``infinite_fifos`` models the C-sim assumption that streams have
+    unbounded capacity (paper section 2.1).
+    """
+    design = compiled.design
+    state = RuntimeState()
+    overrides = depths or {}
+
+    for name, stream in design.streams.items():
+        depth = overrides.get(name, stream.depth)
+        if infinite_fifos:
+            depth = 1 << 62
+        state.fifos[name] = FifoChannel(name, depth)
+
+    for name, buffer in design.buffers.items():
+        if buffer.init is not None:
+            values = [_initial_value(buffer.element, v) for v in buffer.init]
+        else:
+            values = [ty.default_value(buffer.element)] * buffer.size
+        state.buffers[name] = values
+
+    for name, scalar in design.scalars.items():
+        state.scalars[name] = [ty.default_value(scalar.element)]
+
+    for name, axi in design.axis.items():
+        memory = [ty.default_value(axi.element)] * axi.size
+        if axi.init is not None:
+            for i, raw in enumerate(axi.init):
+                memory[i] = _initial_value(axi.element, raw)
+        state.axis[name] = AxiPort(name, memory, axi.read_latency,
+                                   axi.write_latency)
+
+    for module in compiled.modules:
+        instance = module.instance
+        bindings = {}
+        for pname, decl in instance.kernel.ports.items():
+            if isinstance(decl, (port_decls.Const, port_decls.In)):
+                continue
+            bound = instance.bindings[pname]
+            if isinstance(decl, (port_decls.StreamIn, port_decls.StreamOut)):
+                bindings[pname] = bound.name
+            elif isinstance(decl, port_decls.Buffer):
+                bindings[pname] = state.buffers[bound.name]
+            elif isinstance(decl, port_decls.ScalarOut):
+                bindings[pname] = state.scalars[bound.name]
+            elif isinstance(decl, port_decls.AxiMaster):
+                bindings[pname] = bound.name
+        state.bindings[instance.name] = bindings
+
+    return state
+
+
+def collect_outputs(compiled, state: RuntimeState, result) -> None:
+    """Populate result.scalars / result.buffers / result.axi_memories."""
+    design = compiled.design
+    for name, scalar in design.scalars.items():
+        result.scalars[name] = as_python_number(state.scalars[name][0],
+                                                scalar.element)
+    for name, buffer in design.buffers.items():
+        result.buffers[name] = [
+            as_python_number(v, buffer.element)
+            for v in state.buffers[name]
+        ]
+    for name, axi in design.axis.items():
+        result.axi_memories[name] = [
+            as_python_number(v, axi.element)
+            for v in state.axis[name].memory
+        ]
+    for name, fifo in state.fifos.items():
+        result.fifo_leftovers[name] = fifo.leftover()

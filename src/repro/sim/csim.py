@@ -1,0 +1,163 @@
+"""C-simulation baseline: sequential execution with infinite FIFOs.
+
+Reproduces how Vitis HLS C-sim behaves on dataflow designs (paper
+sections 1, 2.1 and Table 3):
+
+* modules execute *sequentially in definition order*, each to completion,
+  on a single thread — concurrency is not modelled;
+* streams are unbounded: blocking writes and ``write_nb`` always succeed;
+* reading an empty stream emits the famous warning ``Hls::stream '...' is
+  read while empty`` and returns a default-constructed value;
+* leftover stream data at exit emits ``... contains leftover data``;
+* running off the end of an array (which happens in infinite-loop producer
+  tasks that never see their done signal) is a SIGSEGV;
+* an infinite loop that never faults simply hangs (reported via the step
+  limit).
+
+No performance information is produced (``cycles`` is 0).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+
+from ..errors import SimulatedCrash, SimulationError
+from ..interp.interpreter import ModuleInterpreter
+from ..ir import types as ty
+from .context import RuntimeState, build_runtime_state, collect_outputs
+from .result import SimulationResult, SimulationStats
+
+DEFAULT_CSIM_STEP_LIMIT = 10_000_000
+
+
+class CSimulator:
+    """Sequential functional simulation (the "C-sim" column of Table 3)."""
+
+    name = "csim"
+
+    def __init__(self, compiled, step_limit: int = DEFAULT_CSIM_STEP_LIMIT):
+        self.compiled = compiled
+        self.step_limit = step_limit
+
+    def run(self) -> SimulationResult:
+        start = _time.perf_counter()
+        state: RuntimeState = build_runtime_state(
+            self.compiled, infinite_fifos=True
+        )
+        stats = SimulationStats()
+        warnings: list[str] = []
+        failure: str | None = None
+
+        queues: dict[str, deque] = {
+            name: deque() for name in state.fifos
+        }
+        ever_written: dict[str, int] = {name: 0 for name in state.fifos}
+
+        for module in self.compiled.modules:
+            interp = ModuleInterpreter(
+                module, state.bindings[module.name],
+                step_limit=self.step_limit, oob_mode="crash",
+            )
+            try:
+                self._run_module(interp, state, queues, ever_written,
+                                 warnings, stats)
+            except SimulatedCrash:
+                failure = "Simulation failed: SIGSEGV."
+                break
+            except SimulationError as exc:
+                if "step limit" in str(exc):
+                    failure = ("Simulation hung: infinite loop never "
+                               "terminated (killed)")
+                    break
+                raise
+
+        if failure is None:
+            for name, queue in queues.items():
+                if queue:
+                    warnings.append(
+                        f"WARNING [SIM]: Hls::stream '{name}' contains "
+                        "leftover data, which may be a bug in the design."
+                    )
+
+        result = SimulationResult(
+            design_name=self.compiled.name,
+            simulator=self.name,
+            cycles=0,
+            stats=stats,
+            execute_seconds=_time.perf_counter() - start,
+            frontend_seconds=self.compiled.frontend_seconds,
+            warnings=warnings,
+            failure=failure,
+        )
+        collect_outputs(self.compiled, state, result)
+        # Leftover reporting in csim comes from the local queues.
+        result.fifo_leftovers = {n: len(q) for n, q in queues.items()}
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_module(self, interp: ModuleInterpreter, state: RuntimeState,
+                    queues: dict, ever_written: dict, warnings: list,
+                    stats: SimulationStats) -> None:
+        gen = interp.run()
+        response = None
+        while True:
+            try:
+                request = gen.send(response)
+            except StopIteration:
+                break
+            response = None
+            stats.events += 1
+            kind = request.kind
+            if kind == "fifo_write":
+                queues[request.fifo].append(request.value)
+                ever_written[request.fifo] += 1
+            elif kind == "fifo_read":
+                queue = queues[request.fifo]
+                if queue:
+                    response = queue.popleft()
+                else:
+                    warnings.append(
+                        f"WARNING [SIM]: Hls::stream '{request.fifo}' is "
+                        "read while empty, which may result in RTL "
+                        "simulation hanging."
+                    )
+                    response = self._default_for(request.fifo)
+            elif kind == "fifo_nb_write":
+                # The wrong assumption C-sim makes: writes always succeed.
+                queues[request.fifo].append(request.value)
+                ever_written[request.fifo] += 1
+                response = True
+                stats.queries += 1
+            elif kind == "fifo_nb_read":
+                queue = queues[request.fifo]
+                if queue:
+                    response = (True, queue.popleft())
+                else:
+                    response = (False, None)
+                stats.queries += 1
+            elif kind == "fifo_can_read":
+                response = bool(queues[request.fifo])
+                stats.queries += 1
+            elif kind == "fifo_can_write":
+                response = True  # infinite depth
+                stats.queries += 1
+            elif kind == "axi_read_req":
+                state.axis[request.port].emit_read_req(request.offset,
+                                                       request.length)
+            elif kind == "axi_read":
+                _beat, value = state.axis[request.port].emit_read_beat()
+                response = value
+            elif kind == "axi_write_req":
+                state.axis[request.port].emit_write_req(request.offset,
+                                                        request.length)
+            elif kind == "axi_write":
+                state.axis[request.port].emit_write_beat(request.value)
+            elif kind == "axi_write_resp":
+                state.axis[request.port].emit_write_resp()
+            # start/end/trace: nothing to do
+
+    def _default_for(self, fifo_name: str):
+        stream = self.compiled.design.streams[fifo_name]
+        return ty.default_value(stream.element)

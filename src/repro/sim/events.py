@@ -1,0 +1,55 @@
+"""Timed events: ledger entries wrapping interpreter requests."""
+
+from __future__ import annotations
+
+from ..runtime import requests as req
+
+#: Event lifecycle states.
+PENDING = 0     # in the ledger heap, not yet resolved
+COMMITTED = 1   # hardware cycle assigned
+
+
+class TimedEvent:
+    """One hardware-visible action awaiting (or holding) its commit cycle."""
+
+    __slots__ = (
+        "request", "emit_idx", "state", "commit_time",
+        "index", "aux", "outcome", "node_id",
+    )
+
+    def __init__(self, request: req.Request, emit_idx: int):
+        self.request = request
+        self.emit_idx = emit_idx
+        self.state = PENDING
+        self.commit_time: int | None = None
+        #: FIFO access index (1-based) for blocking ops, assigned at
+        #: emission; for NB ops assigned at resolution time.
+        self.index: int | None = None
+        #: kind-specific payload: AXI request index / beat index / burst.
+        self.aux = None
+        #: resolved outcome for queries (True = success).
+        self.outcome: bool | None = None
+        #: simulation-graph node id once committed.
+        self.node_id: int | None = None
+
+    @property
+    def nominal(self) -> int:
+        return self.request.nominal
+
+    @property
+    def module(self) -> str:
+        return self.request.module
+
+    @property
+    def kind(self) -> str:
+        return self.request.kind
+
+    @property
+    def is_query(self) -> bool:
+        return self.request.is_query
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = (f"@{self.commit_time}" if self.state == COMMITTED
+                  else "pending")
+        return (f"<{self.kind} {self.module}#{self.emit_idx} "
+                f"n={self.nominal} {status}>")

@@ -1,0 +1,258 @@
+"""Partial simulation graph: adjacency-list event graph (paper 7.3.1).
+
+Nodes are committed hardware events carrying their timing-segment metadata
+(segment serial, segment base, nominal cycle).  Retiming derives edges
+from structure rather than storing them per node:
+
+* **intra-segment chains**: consecutive events of one segment, weight =
+  offset difference (in-order pipeline within an iteration);
+* **segment propagation**: a virtual "segment end" node per segment
+  collects ``commit - offset`` of its members (the iteration's *effective
+  start*), and feeds the next segment's events with weight
+  ``base_next - base_prev + offset`` — elastic pipelined-iteration timing;
+* **RAW** (write #r -> read #r, weight 1) and **WAR**
+  (read #(w-S) -> write #w, weight 1) FIFO edges, re-derived per depth
+  configuration — non-blocking accesses never stall, so they receive no
+  incoming FIFO edges (their consistency is checked via constraints);
+* **port serialization**: consecutive accesses on one FIFO port (or AXI
+  channel) are one cycle apart minimum — including failed NB attempts;
+* **AXI latency** edges: request -> beat (latency + beat offset), last
+  beat -> write response (write latency).
+
+During OmniSim execution node times are assigned eagerly (the engine *is*
+the incremental longest-path computation); ``retime`` recomputes them from
+scratch for new FIFO depths — the core of incremental re-simulation
+(paper 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+#: Node kinds relevant to retiming.
+K_OTHER = 0      # start/end/trace and failed queries (never stall)
+K_READ = 1       # committed blocking read (stalls on RAW)
+K_WRITE = 2      # committed blocking write (stalls on WAR)
+K_AXI_READ = 3   # AXI read beat
+K_AXI_RESP = 4   # AXI write response
+K_NB_READ = 5    # successful NB read: consumes a value but never stalls
+K_NB_WRITE = 6   # successful NB write: produces a value but never stalls
+
+
+@dataclass
+class FifoNodeTable:
+    """Graph-node registry of one FIFO's committed accesses."""
+
+    #: successful accesses in index order (for RAW/WAR edges)
+    write_nodes: list = field(default_factory=list)
+    read_nodes: list = field(default_factory=list)
+    #: every port access incl. failed NB attempts (for +1 serialization)
+    write_port_nodes: list = field(default_factory=list)
+    read_port_nodes: list = field(default_factory=list)
+
+
+@dataclass
+class AxiNodeTable:
+    """Graph-node registry of one AXI port's committed events."""
+
+    #: (req_node, first_beat, length) per read burst
+    read_bursts: list = field(default_factory=list)
+    read_beat_nodes: list = field(default_factory=list)
+    write_beat_nodes: list = field(default_factory=list)
+    #: (resp_node, last_beat_index) per write response
+    resp_nodes: list = field(default_factory=list)
+    read_req_nodes: list = field(default_factory=list)
+    write_req_nodes: list = field(default_factory=list)
+    read_latency: int = 12
+    write_latency: int = 6
+
+
+class SimulationGraph:
+    """Append-only event graph with recomputable timing."""
+
+    def __init__(self):
+        # Parallel arrays per node (adjacency-list style, 7.3.1).
+        self.module_of: list[int] = []
+        self.nominal: list[int] = []
+        self.time: list[int] = []
+        self.kind: list[int] = []
+        self.seg_serial: list[int] = []
+        self.seg_base: list[int] = []
+        #: node ids per module, in emission order
+        self.module_nodes: dict[int, list] = {}
+        self._module_ids: dict[str, int] = {}
+        self.module_names: list[str] = []
+        self.fifo_tables: dict[str, FifoNodeTable] = {}
+        self.axi_tables: dict[str, AxiNodeTable] = {}
+        #: end-task node per module id
+        self.end_nodes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def module_id(self, name: str) -> int:
+        mid = self._module_ids.get(name)
+        if mid is None:
+            mid = len(self.module_names)
+            self._module_ids[name] = mid
+            self.module_names.append(name)
+            self.module_nodes[mid] = []
+        return mid
+
+    def fifo_table(self, fifo: str) -> FifoNodeTable:
+        table = self.fifo_tables.get(fifo)
+        if table is None:
+            table = FifoNodeTable()
+            self.fifo_tables[fifo] = table
+        return table
+
+    def axi_table(self, port: str) -> AxiNodeTable:
+        table = self.axi_tables.get(port)
+        if table is None:
+            table = AxiNodeTable()
+            self.axi_tables[port] = table
+        return table
+
+    def add_node(self, module: str, request, time: int,
+                 kind: int = K_OTHER) -> int:
+        """Append a committed event; returns its node id."""
+        mid = self.module_id(module)
+        node = len(self.time)
+        self.module_of.append(mid)
+        self.nominal.append(request.nominal)
+        self.time.append(time)
+        self.kind.append(kind)
+        self.seg_serial.append(request.segment)
+        self.seg_base.append(request.seg_base)
+        self.module_nodes[mid].append(node)
+        return node
+
+    @property
+    def node_count(self) -> int:
+        return len(self.time)
+
+    # ------------------------------------------------------------------
+    # retiming under new FIFO depths (incremental simulation core)
+
+    def retime(self, depths: dict[str, int]) -> list[int]:
+        """Recompute all node times under new FIFO ``depths``.
+
+        Returns the new time array (real nodes only).  Assumes the
+        functional execution is unchanged; the caller re-validates the
+        recorded query constraints.
+        """
+        n = self.node_count
+        # Virtual segment-end nodes are appended past the real nodes.
+        preds: list[list] = [[] for _ in range(n)]
+        base_value: list[int] = [0] * n
+
+        def ensure(node_id):
+            while len(preds) <= node_id:
+                preds.append([])
+                base_value.append(-(1 << 62))
+
+        def add_edge(u: int, v: int, w: int):
+            ensure(max(u, v))
+            preds[v].append((u, w))
+
+        next_virtual = n
+        # --- structural edges per module -------------------------------
+        for mid, nodes in self.module_nodes.items():
+            prev_node = None
+            prev_offset = 0
+            prev_serial = None
+            prev_base = 0
+            segend = None       # virtual node id of the current segment
+            for v in nodes:
+                offset = self.nominal[v] - self.seg_base[v]
+                if prev_serial is None:
+                    base_value[v] = self.nominal[v]
+                    segend = next_virtual
+                    next_virtual += 1
+                    ensure(segend)
+                    base_value[segend] = self.seg_base[v]
+                elif self.seg_serial[v] != prev_serial:
+                    delta = self.seg_base[v] - prev_base
+                    new_segend = next_virtual
+                    next_virtual += 1
+                    ensure(new_segend)
+                    # effective start propagates: E_next = E_prev + delta
+                    add_edge(segend, new_segend, delta)
+                    add_edge(segend, v, delta + offset)
+                    segend = new_segend
+                else:
+                    add_edge(prev_node, v, offset - prev_offset)
+                # every event raises its segment's effective start
+                add_edge(v, segend, -offset)
+                prev_node, prev_offset = v, offset
+                prev_serial = self.seg_serial[v]
+                prev_base = self.seg_base[v]
+
+        # --- FIFO edges -------------------------------------------------
+        for fifo, table in self.fifo_tables.items():
+            depth = depths[fifo]
+            writes, reads = table.write_nodes, table.read_nodes
+            for r, read_node in enumerate(reads, start=1):
+                # NB accesses never stall; validated via constraints.
+                if self.kind[read_node] == K_READ:
+                    add_edge(writes[r - 1], read_node, 1)  # RAW
+            for w, write_node in enumerate(writes, start=1):
+                if w > depth and self.kind[write_node] == K_WRITE:
+                    add_edge(reads[w - depth - 1], write_node, 1)  # WAR
+            for chain in (table.write_port_nodes, table.read_port_nodes):
+                for a, b in zip(chain, chain[1:]):
+                    add_edge(a, b, 1)  # one access per port per cycle
+
+        # --- AXI edges -----------------------------------------------------
+        for port, table in self.axi_tables.items():
+            for req_node, first_beat, length in table.read_bursts:
+                for i in range(length):
+                    beat_index = first_beat + i
+                    if beat_index < len(table.read_beat_nodes):
+                        add_edge(req_node, table.read_beat_nodes[beat_index],
+                                 table.read_latency + i)
+            for resp_node, last_beat in table.resp_nodes:
+                add_edge(table.write_beat_nodes[last_beat], resp_node,
+                         table.write_latency)
+            for chain in (table.read_beat_nodes, table.write_beat_nodes,
+                          table.read_req_nodes, table.write_req_nodes):
+                for a, b in zip(chain, chain[1:]):
+                    add_edge(a, b, 1)
+
+        # --- Kahn longest path over real + virtual nodes -----------------
+        total = len(preds)
+        indegree = [0] * total
+        succs: list[list] = [[] for _ in range(total)]
+        for v in range(total):
+            for u, w in preds[v]:
+                succs[u].append((v, w))
+                indegree[v] += 1
+
+        from collections import deque
+
+        new_time = base_value[:]
+        queue = deque(v for v in range(total) if indegree[v] == 0)
+        visited = 0
+        while queue:
+            u = queue.popleft()
+            visited += 1
+            for v, w in succs[u]:
+                cand = new_time[u] + w
+                if cand > new_time[v]:
+                    new_time[v] = cand
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    queue.append(v)
+        if visited != total:
+            raise SimulationError(
+                "simulation graph became cyclic under the new FIFO depths "
+                "(the configuration deadlocks); full re-simulation required"
+            )
+        return new_time[:n]
+
+    def total_cycles(self, times: list[int] | None = None) -> int:
+        times = times if times is not None else self.time
+        if not self.end_nodes:
+            return max(times, default=0)
+        return max(times[v] for v in self.end_nodes.values())

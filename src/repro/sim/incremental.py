@@ -1,0 +1,111 @@
+"""Incremental re-simulation under changed FIFO depths (paper section 7.2).
+
+OmniSim's simulation graph is built *dynamically*, driven by the specific
+FIFO depths of the run, so it cannot be blindly reused the way
+LightningSim's can.  Instead, every resolved timing query was recorded as a
+:class:`~repro.sim.result.Constraint`.  Re-simulation:
+
+1. re-runs the finalization step — recompute every event's cycle under the
+   new depths via longest-path retiming of the recorded graph;
+2. re-evaluates every constraint against the recomputed cycles (using the
+   Table 2 conditions with the *new* depth S');
+3. if any query would now resolve differently, control/data flow may
+   diverge, the graph is invalid, and a full re-simulation is required
+   (:class:`~repro.errors.ConstraintViolation` is raised);
+4. otherwise the new cycle count is returned in microseconds-to-
+   milliseconds, versus seconds for a full run (paper Table 6).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from ..errors import ConstraintViolation, SimulationError
+from .result import SimulationResult
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of a successful incremental re-simulation."""
+
+    cycles: int
+    seconds: float
+    depths: dict
+    #: number of constraints re-validated
+    constraints_checked: int
+
+
+def resimulate(result: SimulationResult, new_depths: dict
+               ) -> IncrementalResult:
+    """Re-derive the cycle count of an OmniSim run under new FIFO depths.
+
+    ``new_depths`` maps FIFO names to their new depths; unmentioned FIFOs
+    keep the depth of the original run.  Raises
+    :class:`~repro.errors.ConstraintViolation` if the recorded execution is
+    invalid under the new configuration (a full re-simulation is needed),
+    or :class:`~repro.errors.SimulationError` if the new depths deadlock
+    the recorded execution.
+    """
+    if result.graph is None or result.fifo_channels is None:
+        raise SimulationError(
+            "incremental re-simulation requires an OmniSim result (with "
+            "graph and constraints)"
+        )
+    start = _time.perf_counter()
+    depths = {name: ch.depth for name, ch in result.fifo_channels.items()}
+    unknown = set(new_depths) - set(depths)
+    if unknown:
+        raise SimulationError(f"unknown FIFO name(s): {sorted(unknown)}")
+    depths.update(new_depths)
+    for name, depth in depths.items():
+        if depth < 1:
+            raise SimulationError(f"fifo {name}: depth must be >= 1")
+
+    graph = result.graph
+    times = graph.retime(depths)
+    _validate_constraints(result, graph, times, depths)
+    seconds = _time.perf_counter() - start
+    return IncrementalResult(
+        cycles=graph.total_cycles(times),
+        seconds=seconds,
+        depths=depths,
+        constraints_checked=len(result.constraints),
+    )
+
+
+def _validate_constraints(result: SimulationResult, graph, times: list,
+                          depths: dict) -> None:
+    for constraint in result.constraints:
+        table = graph.fifo_table(constraint.fifo)
+        depth = depths[constraint.fifo]
+        source_time = times[constraint.node_id]
+
+        if constraint.kind in ("fifo_nb_write", "fifo_can_write"):
+            w = constraint.index
+            if w <= depth:
+                outcome = True
+            else:
+                target = w - depth
+                if target <= len(table.read_nodes):
+                    target_time = times[table.read_nodes[target - 1]]
+                    outcome = source_time > target_time
+                else:
+                    outcome = False  # the freeing read never happened
+        else:  # fifo_nb_read / fifo_can_read
+            r = constraint.index
+            if r <= len(table.write_nodes):
+                target_time = times[table.write_nodes[r - 1]]
+                outcome = source_time > target_time
+            else:
+                outcome = False  # the awaited write never happened
+
+        if outcome != constraint.outcome:
+            raise ConstraintViolation(
+                f"query {constraint.kind} on '{constraint.fifo}' "
+                f"(access #{constraint.index}) resolved "
+                f"{constraint.outcome} in the recorded run but would "
+                f"resolve {outcome} with depths {depths}; full "
+                "re-simulation required",
+                query=constraint,
+            )

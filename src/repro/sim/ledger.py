@@ -1,0 +1,139 @@
+"""Per-module timing ledger with elastic pipeline semantics.
+
+Hardware timing contract (shared by OmniSim and the co-simulator):
+
+* A module's execution is a sequence of **segments**: straight-line code is
+  one segment; each iteration of a *pipelined* loop is its own segment.
+  Events carry ``(segment serial, segment base, offset)`` where ``offset``
+  is the event's cycle position inside the segment per the static schedule.
+* Within a segment, stalls freeze everything later in the segment (an
+  in-order pipeline: ``ready = E + offset`` where the *effective start* E
+  grows to ``commit - offset`` whenever an event stalls).
+* Across segments, stalls propagate forward only:
+  ``E_next = E_prev + (base_next - base_prev)`` — iteration k+1 issues II
+  cycles after iteration k's *effective* start.  Crucially, a stall in a
+  later iteration never retroactively delays an earlier iteration's
+  in-flight stages (hardware pipelines drain), which is what lets cyclic
+  blocking designs like the paper's Ex. 3 run instead of deadlocking.
+* Events commit strictly in emission (program) order per module; commit
+  *times* may be non-monotonic across overlapped iterations, exactly like
+  the hardware.
+
+The ledger also exposes :meth:`future_commit_bound`: given a bound on when
+the head event can commit, a sound lower bound on the commit time of every
+other (queued or future) event of this module.  Later same-segment events
+sit at larger offsets (>= head commit); later segments start at least one
+cycle after the head's effective position.  The engines use this to apply
+the paper's earliest-query-false rule soundly (section 7.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .events import COMMITTED, TimedEvent
+
+INFINITY = 1 << 62
+
+
+class ModuleLedger:
+    """Timing state of one module: emission-order event queue."""
+
+    __slots__ = ("module", "finished", "_queue", "_emit_counter",
+                 "effective_start", "cur_serial", "cur_base",
+                 "committed_count", "last_commit_time")
+
+    def __init__(self, module: str):
+        self.module = module
+        self.finished = False
+        self._queue: deque = deque()
+        self._emit_counter = 0
+        #: E: effective start cycle of the current segment (stall-adjusted)
+        self.effective_start = 0
+        self.cur_serial = 0
+        self.cur_base = 0
+        self.committed_count = 0
+        self.last_commit_time = 0
+
+    # --- emission ------------------------------------------------------
+
+    def add(self, request) -> TimedEvent:
+        self._emit_counter += 1
+        event = TimedEvent(request, self._emit_counter)
+        self._queue.append(event)
+        return event
+
+    def mark_finished(self) -> None:
+        self.finished = True
+
+    # --- commit ordering ------------------------------------------------
+
+    def head(self) -> TimedEvent | None:
+        """Next event in commit (emission) order, with its segment's
+        timing transition applied."""
+        if not self._queue:
+            return None
+        event = self._queue[0]
+        self._apply_transition(event)
+        return event
+
+    def _apply_transition(self, event: TimedEvent) -> None:
+        request = event.request
+        if request.segment != self.cur_serial:
+            # Entering a new segment: the effective start advances by the
+            # nominal distance between segment bases (covers skipped empty
+            # segments too, since bases are absolute).
+            self.effective_start += request.seg_base - self.cur_base
+            self.cur_serial = request.segment
+            self.cur_base = request.seg_base
+
+    def offset_of(self, event: TimedEvent) -> int:
+        return event.nominal - self.cur_base
+
+    def ready_of(self, event: TimedEvent) -> int:
+        """Stall-adjusted earliest cycle for the head event."""
+        return self.effective_start + self.offset_of(event)
+
+    def commit(self, event: TimedEvent, cycle: int) -> None:
+        assert self._queue and self._queue[0] is event, (
+            f"{self.module}: commit must target the queue head"
+        )
+        offset = self.offset_of(event)
+        assert cycle >= self.effective_start + offset, (
+            f"{self.module}: commit at {cycle} before ready "
+            f"{self.effective_start + offset}"
+        )
+        self._queue.popleft()
+        self.effective_start = max(self.effective_start, cycle - offset)
+        event.state = COMMITTED
+        event.commit_time = cycle
+        self.committed_count += 1
+        self.last_commit_time = max(self.last_commit_time, cycle)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+    def pending_events(self):
+        return iter(self._queue)
+
+    # --- stuck-resolution support ------------------------------------------
+
+    def future_commit_bound(self, head_commit_bound: int) -> int:
+        """Lower bound on the commit time of every event other than the
+        head, given that the head cannot commit before
+        ``head_commit_bound``.
+
+        Same-segment successors have offsets >= the head's, so they commit
+        at >= the head's commit.  Later segments (pipelined iterations or
+        post-loop code) start at least 1 cycle after the current segment's
+        effective start, i.e. at >= head_commit - head_offset + 1.
+        """
+        if not self._queue:
+            return INFINITY
+        head = self._queue[0]
+        self._apply_transition(head)
+        offset = self.offset_of(head)
+        if not head.request.pipelined:
+            return head_commit_bound
+        return head_commit_bound - max(0, offset - 1)

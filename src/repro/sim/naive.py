@@ -1,0 +1,180 @@
+"""Naive multi-threaded simulation: the strawman of the paper's Fig. 2.
+
+One OS thread per module, shared lock-protected FIFOs, *no orchestration*:
+the outcome of every non-blocking access is decided by whatever the FIFO
+happens to contain when the OS scheduled the thread — i.e. by software
+timing, not hardware timing.  Functional results for Type C designs are
+therefore scheduling-dependent and generally wrong (e.g. the timer of
+Fig. 2 counts OS-scheduling noise instead of hardware cycles).
+
+This simulator exists to demonstrate the problem OmniSim solves; no cycle
+estimates are produced.  A ``poll_yield`` knob inserts sleeps on failed
+polls to keep spin loops from starving other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+
+from ..errors import SimulatedCrash, SimulationError
+from ..interp.interpreter import ModuleInterpreter
+from .context import RuntimeState, build_runtime_state, collect_outputs
+from .result import SimulationResult, SimulationStats
+
+
+class _SharedFifo:
+    """Lock-protected bounded queue: what a naive port of HLS streams to
+    software threads looks like."""
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self.items: deque = deque()
+        self.lock = threading.Lock()
+        self.not_empty = threading.Condition(self.lock)
+        self.not_full = threading.Condition(self.lock)
+
+    def read(self, timeout: float):
+        with self.not_empty:
+            if not self.items:
+                if not self.not_empty.wait_for(lambda: bool(self.items),
+                                               timeout):
+                    raise SimulationError("naive simulation hang")
+            value = self.items.popleft()
+            self.not_full.notify()
+            return value
+
+    def write(self, value, timeout: float) -> None:
+        with self.not_full:
+            if len(self.items) >= self.depth:
+                ok = self.not_full.wait_for(
+                    lambda: len(self.items) < self.depth, timeout
+                )
+                if not ok:
+                    raise SimulationError("naive simulation hang")
+            self.items.append(value)
+            self.not_empty.notify()
+
+    def read_nb(self):
+        with self.lock:
+            if self.items:
+                value = self.items.popleft()
+                self.not_full.notify()
+                return True, value
+            return False, None
+
+    def write_nb(self, value) -> bool:
+        with self.lock:
+            if len(self.items) < self.depth:
+                self.items.append(value)
+                self.not_empty.notify()
+                return True
+            return False
+
+    def snapshot_len(self) -> int:
+        with self.lock:
+            return len(self.items)
+
+
+class NaiveThreadedSimulator:
+    """Unorchestrated thread-per-module simulation (for demonstration)."""
+
+    name = "naive-threads"
+
+    def __init__(self, compiled, step_limit: int = 10_000_000,
+                 timeout: float = 30.0, poll_yield: float = 0.0):
+        self.compiled = compiled
+        self.step_limit = step_limit
+        self.timeout = timeout
+        self.poll_yield = poll_yield
+
+    def run(self) -> SimulationResult:
+        start = _time.perf_counter()
+        state: RuntimeState = build_runtime_state(self.compiled)
+        fifos = {
+            name: _SharedFifo(ch.depth)
+            for name, ch in state.fifos.items()
+        }
+        stats = SimulationStats()
+        errors: list = []
+
+        def worker(module):
+            interp = ModuleInterpreter(
+                module, state.bindings[module.name],
+                step_limit=self.step_limit,
+            )
+            gen = interp.run()
+            response = None
+            try:
+                while True:
+                    try:
+                        request = gen.send(response)
+                    except StopIteration:
+                        return
+                    response = None
+                    kind = request.kind
+                    if kind == "fifo_read":
+                        response = fifos[request.fifo].read(self.timeout)
+                    elif kind == "fifo_write":
+                        fifos[request.fifo].write(request.value,
+                                                  self.timeout)
+                    elif kind == "fifo_nb_read":
+                        response = fifos[request.fifo].read_nb()
+                        if not response[0] and self.poll_yield:
+                            _time.sleep(self.poll_yield)
+                    elif kind == "fifo_nb_write":
+                        response = fifos[request.fifo].write_nb(
+                            request.value
+                        )
+                        if not response and self.poll_yield:
+                            _time.sleep(self.poll_yield)
+                    elif kind == "fifo_can_read":
+                        response = fifos[request.fifo].snapshot_len() > 0
+                    elif kind == "fifo_can_write":
+                        fifo = fifos[request.fifo]
+                        response = fifo.snapshot_len() < fifo.depth
+                    elif kind == "axi_read_req":
+                        state.axis[request.port].emit_read_req(
+                            request.offset, request.length
+                        )
+                    elif kind == "axi_read":
+                        _b, value = state.axis[request.port].emit_read_beat()
+                        response = value
+                    elif kind == "axi_write_req":
+                        state.axis[request.port].emit_write_req(
+                            request.offset, request.length
+                        )
+                    elif kind == "axi_write":
+                        state.axis[request.port].emit_write_beat(
+                            request.value
+                        )
+                    elif kind == "axi_write_resp":
+                        state.axis[request.port].emit_write_resp()
+            except (SimulationError, SimulatedCrash) as exc:
+                errors.append((module.name, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(m,), daemon=True,
+                             name=f"naive-{m.name}")
+            for m in self.compiled.modules
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(self.timeout)
+
+        result = SimulationResult(
+            design_name=self.compiled.name,
+            simulator=self.name,
+            cycles=0,  # naive threading has no notion of hardware time
+            stats=stats,
+            execute_seconds=_time.perf_counter() - start,
+            frontend_seconds=self.compiled.frontend_seconds,
+        )
+        if errors:
+            result.failure = "; ".join(
+                f"{name}: {exc}" for name, exc in errors
+            )
+        collect_outputs(self.compiled, state, result)
+        return result

@@ -1,0 +1,109 @@
+"""Static latency estimation: the "C synthesis report" substrate.
+
+After scheduling, HLS tools report a static latency estimate per module.
+As the paper stresses (section 1), these estimates are often inaccurate or
+unavailable ("?") for designs with variable loop bounds, infinite loops, or
+data-dependent control flow - which is precisely why dynamic simulation is
+needed.  We reproduce that behaviour: the estimate assumes every branch
+takes its longest arm, loops run for their static trip hint, and any loop
+without a static trip count makes the whole estimate unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.function import BasicBlock, Function, LoopMeta
+from .scheduler import ModuleSchedule
+
+
+@dataclass
+class StaticLatency:
+    """Result of the static estimate: cycles, or unknown."""
+
+    cycles: int | None
+
+    @property
+    def known(self) -> bool:
+        return self.cycles is not None
+
+    def __str__(self) -> str:
+        return str(self.cycles) if self.known else "?"
+
+
+def estimate_function_latency(schedule: ModuleSchedule) -> StaticLatency:
+    """Best-effort static latency of one module."""
+    function = schedule.function
+    try:
+        cycles = _region_latency(function, schedule, function.entry,
+                                 stop=None, loop=None)
+    except _Unknown:
+        return StaticLatency(None)
+    return StaticLatency(cycles)
+
+
+class _Unknown(Exception):
+    """Raised when the estimate cannot be determined statically."""
+
+
+def _loop_of_header(function: Function, block: BasicBlock) -> LoopMeta | None:
+    for loop in function.loops:
+        if loop.header is block:
+            return loop
+    return None
+
+
+def _region_latency(function: Function, schedule: ModuleSchedule,
+                    start: BasicBlock, stop: BasicBlock | None,
+                    loop: LoopMeta | None, _depth: int = 0) -> int:
+    """Longest path latency from ``start`` until ``stop`` (exclusive),
+    collapsing loops into single super-nodes."""
+    if _depth > 10000:
+        raise _Unknown
+    if start is stop or start is None:
+        return 0
+    header_loop = _loop_of_header(function, start)
+    if header_loop is not None and header_loop is not loop:
+        total = _loop_latency(function, schedule, header_loop)
+        return total + _region_latency(function, schedule, header_loop.exit,
+                                       stop, loop, _depth + 1)
+    block_latency = schedule.for_block(start).latency
+    successors = [s for s in start.successors()]
+    if not successors:
+        return block_latency
+    best = None
+    for succ in successors:
+        if loop is not None and succ is loop.header:
+            # Back edge inside a loop body path: path ends here.
+            cand = 0
+        elif loop is not None and succ not in loop.blocks:
+            # break out of the loop: treat as end of this iteration path.
+            cand = 0
+        else:
+            cand = _region_latency(function, schedule, succ, stop, loop,
+                                   _depth + 1)
+        best = cand if best is None else max(best, cand)
+    return block_latency + (best or 0)
+
+
+def _loop_latency(function: Function, schedule: ModuleSchedule,
+                  loop: LoopMeta) -> int:
+    trips = loop.trip_hint
+    if trips is None:
+        raise _Unknown
+    if trips == 0:
+        return schedule.for_block(loop.header).latency
+    iteration = _iteration_latency(function, schedule, loop)
+    if loop.pipelined:
+        return (trips - 1) * loop.ii + iteration
+    return trips * iteration + schedule.for_block(loop.header).latency
+
+
+def _iteration_latency(function: Function, schedule: ModuleSchedule,
+                       loop: LoopMeta) -> int:
+    """Longest path through one iteration (header included)."""
+    return schedule.for_block(loop.header).latency + max(
+        (_region_latency(function, schedule, succ, None, loop)
+         for succ in loop.header.successors() if succ in loop.blocks),
+        default=0,
+    )

@@ -1,0 +1,105 @@
+"""Design wiring and validation tests."""
+
+import pytest
+
+from repro import hls
+from repro.errors import DesignError
+from tests.conftest import consumer_k, producer_k, N_SMALL
+
+
+def make_parts(d):
+    data = d.buffer("data", hls.i32, N_SMALL, init=list(range(N_SMALL)))
+    total = d.scalar("total", hls.i32)
+    return data, total
+
+
+class TestWiring:
+    def test_duplicate_names_rejected(self):
+        d = hls.Design("t")
+        d.stream("x", hls.i32)
+        with pytest.raises(DesignError):
+            d.buffer("x", hls.i32, 4)
+
+    def test_two_producers_rejected(self):
+        d = hls.Design("t")
+        s = d.stream("s", hls.i32)
+        data, total = make_parts(d)
+        d.add(producer_k, data=data, n=4, out=s)
+        with pytest.raises(DesignError):
+            d.add(producer_k, data=data, n=4, out=s)
+
+    def test_two_consumers_rejected(self):
+        d = hls.Design("t")
+        s = d.stream("s", hls.i32)
+        data, total = make_parts(d)
+        total2 = d.scalar("total2", hls.i32)
+        d.add(consumer_k, inp=s, n=4, sum_out=total)
+        with pytest.raises(DesignError):
+            d.add(consumer_k, inp=s, n=4, sum_out=total2)
+
+    def test_unconnected_stream_rejected(self):
+        d = hls.Design("t")
+        s = d.stream("s", hls.i32)
+        data, total = make_parts(d)
+        d.add(producer_k, data=data, n=4, out=s)
+        with pytest.raises(DesignError):
+            d.validate()
+
+    def test_port_mismatch(self):
+        d = hls.Design("t")
+        data, total = make_parts(d)
+        with pytest.raises(DesignError):
+            d.add(producer_k, data=data, n=4)  # missing 'out'
+
+    def test_type_mismatch(self):
+        d = hls.Design("t")
+        s = d.stream("s", hls.i64)  # element mismatch vs i32 port
+        data, total = make_parts(d)
+        with pytest.raises(DesignError):
+            d.add(producer_k, data=data, n=4, out=s)
+
+    def test_const_must_be_number(self):
+        d = hls.Design("t")
+        s = d.stream("s", hls.i32)
+        data, total = make_parts(d)
+        with pytest.raises(DesignError):
+            d.add(producer_k, data=data, n="four", out=s)
+
+    def test_bad_depth(self):
+        d = hls.Design("t")
+        with pytest.raises(DesignError):
+            d.stream("s", hls.i32, depth=0)
+
+    def test_init_size_check(self):
+        d = hls.Design("t")
+        with pytest.raises(DesignError):
+            d.buffer("b", hls.i32, 4, init=[1, 2, 3])
+
+    def test_instance_names_unique(self):
+        d = hls.Design("t")
+        s1 = d.stream("s1", hls.i32)
+        s2 = d.stream("s2", hls.i32)
+        data, total = make_parts(d)
+        a = d.add(producer_k, data=data, n=4, out=s1)
+        b = d.add(producer_k, data=data, n=4, out=s2)
+        assert a.name != b.name
+
+
+class TestGraphAnalysis:
+    def test_acyclic_detection(self):
+        from tests.conftest import make_pipeline_design
+
+        assert not make_pipeline_design().is_cyclic()
+
+    def test_cyclic_detection(self):
+        from repro.designs import get
+
+        assert get("fig4_ex3").make().is_cyclic()
+        assert get("deadlock").make().is_cyclic()
+
+    def test_module_graph_edges(self):
+        from tests.conftest import make_pipeline_design
+
+        graph = make_pipeline_design().module_graph()
+        assert graph["producer_k"] == {"scale_k"}
+        assert graph["scale_k"] == {"consumer_k"}

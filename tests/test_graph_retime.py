@@ -1,0 +1,140 @@
+"""Unit + property tests for the simulation graph and retiming."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compile_design, designs
+from repro.errors import SimulationError
+from repro.sim import OmniSimulator
+from repro.sim.graph import K_READ, K_WRITE, SimulationGraph
+from repro.runtime.requests import StartTask
+from tests.conftest import make_pipeline_design
+
+
+def _request(nominal, segment=0, base=0):
+    request = StartTask("m", 1, nominal)
+    request.segment = segment
+    request.seg_base = base
+    return request
+
+
+class TestGraphConstruction:
+    def test_node_metadata(self):
+        graph = SimulationGraph()
+        node = graph.add_node("m", _request(7), 9, K_WRITE)
+        assert graph.nominal[node] == 7
+        assert graph.time[node] == 9
+        assert graph.kind[node] == K_WRITE
+        assert graph.node_count == 1
+
+    def test_module_chains(self):
+        graph = SimulationGraph()
+        a = graph.add_node("m1", _request(0), 0)
+        b = graph.add_node("m2", _request(0), 0)
+        c = graph.add_node("m1", _request(3), 3)
+        assert graph.module_nodes[graph.module_id("m1")] == [a, c]
+        assert graph.module_nodes[graph.module_id("m2")] == [b]
+
+    def test_retime_sequential_chain(self):
+        graph = SimulationGraph()
+        graph.add_node("m", _request(0), 0)
+        graph.add_node("m", _request(5), 5)
+        times = graph.retime({})
+        assert times == [0, 5]
+
+    def test_retime_raw_edge(self):
+        graph = SimulationGraph()
+        writer = graph.add_node("p", _request(4), 4, K_WRITE)
+        reader = graph.add_node("c", _request(0), 4, K_READ)
+        table = graph.fifo_table("f")
+        table.write_nodes.append(writer)
+        table.read_nodes.append(reader)
+        times = graph.retime({"f": 2})
+        assert times[reader] == times[writer] + 1
+
+    def test_retime_war_edge_depends_on_depth(self):
+        graph = SimulationGraph()
+        table = graph.fifo_table("f")
+        # Producer: writes at nominal 0, 1; consumer reads at nominal 10+.
+        w1 = graph.add_node("p", _request(0), 0, K_WRITE)
+        w2 = graph.add_node("p", _request(1), 1, K_WRITE)
+        r1 = graph.add_node("c", _request(10), 10, K_READ)
+        r2 = graph.add_node("c", _request(11), 12, K_READ)
+        table.write_nodes.extend([w1, w2])
+        table.read_nodes.extend([r1, r2])
+        deep = graph.retime({"f": 2})
+        assert deep[w2] == 1  # depth 2: no WAR stall
+        shallow = graph.retime({"f": 1})
+        assert shallow[w2] == shallow[r1] + 1  # depth 1: WAR stall
+
+    def test_retime_detects_cycle(self):
+        graph = SimulationGraph()
+        table = graph.fifo_table("f")
+        # Craft a read that must precede its own write via WAR at depth 1
+        # while RAW demands the opposite: a cyclic constraint system.
+        w2_req = _request(0)
+        r1 = graph.add_node("c", _request(0), 5, K_READ)
+        w1 = graph.add_node("p", _request(4), 4, K_WRITE)
+        w2 = graph.add_node("p", _request(6), 6, K_WRITE)
+        table.write_nodes.extend([w1, w2])
+        table.read_nodes.append(r1)
+        graph2 = SimulationGraph()
+        t2 = graph2.fifo_table("a")
+        t3 = graph2.fifo_table("b")
+        # module X: read a (idx1) then write b (idx1)
+        xr = graph2.add_node("x", _request(0), 0, K_READ)
+        xw = graph2.add_node("x", _request(1), 1, K_WRITE)
+        # module Y: read b (idx1) then write a (idx1)
+        yr = graph2.add_node("y", _request(0), 0, K_READ)
+        yw = graph2.add_node("y", _request(1), 1, K_WRITE)
+        t2.read_nodes.append(xr)
+        t2.write_nodes.append(yw)
+        t3.write_nodes.append(xw)
+        t3.read_nodes.append(yr)
+        with pytest.raises(SimulationError):
+            graph2.retime({"a": 2, "b": 2})
+
+
+class TestRetimeInvariant:
+    """retime(original depths) must equal the live engine's times."""
+
+    @pytest.mark.parametrize("name", ["fig4_ex1", "fig4_ex2", "fig4_ex5",
+                                      "fig2_timer", "branch"])
+    def test_on_benchmark_designs(self, name):
+        compiled = compile_design(designs.get(name).make(n=100))
+        result = OmniSimulator(compiled).run()
+        depths = {n: ch.depth for n, ch in result.fifo_channels.items()}
+        assert result.graph.retime(depths) == result.graph.time
+
+    @settings(max_examples=15, deadline=None)
+    @given(d1=st.integers(min_value=1, max_value=8),
+           d2=st.integers(min_value=1, max_value=8))
+    def test_on_pipeline_depths(self, d1, d2):
+        compiled = compile_design(make_pipeline_design())
+        result = OmniSimulator(compiled,
+                               depths={"s1": d1, "s2": d2}).run()
+        depths = {"s1": d1, "s2": d2}
+        assert result.graph.retime(depths) == result.graph.time
+
+    def test_axi_design_retime(self):
+        compiled = compile_design(designs.get("vector_add_stream").make())
+        result = OmniSimulator(compiled).run()
+        depths = {n: ch.depth for n, ch in result.fifo_channels.items()}
+        assert result.graph.retime(depths) == result.graph.time
+
+
+class TestGraphScaling:
+    def test_node_count_tracks_events(self):
+        compiled = compile_design(make_pipeline_design())
+        result = OmniSimulator(compiled).run()
+        assert result.graph.node_count == result.stats.events
+
+    def test_monotone_depth_sweep(self):
+        compiled = compile_design(make_pipeline_design())
+        result = OmniSimulator(compiled).run()
+        totals = []
+        for depth in (1, 2, 4, 8, 16):
+            times = result.graph.retime({"s1": depth, "s2": depth})
+            totals.append(result.graph.total_cycles(times))
+        assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,133 @@
+"""Unit + property tests for scalar arithmetic semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.interp import ops
+from repro.ir import types as ty
+
+i32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+class TestIntOps:
+    def test_c_division_truncates_toward_zero(self):
+        assert ops.eval_binop("div", -7, 2, ty.i32) == -3
+        assert ops.eval_binop("div", 7, -2, ty.i32) == -3
+        assert ops.eval_binop("rem", -7, 2, ty.i32) == -1
+        assert ops.eval_binop("rem", 7, -2, ty.i32) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(SimulationError):
+            ops.eval_binop("div", 1, 0, ty.i32)
+        with pytest.raises(SimulationError):
+            ops.eval_binop("rem", 1, 0, ty.i32)
+
+    def test_overflow_wraps(self):
+        assert ops.eval_binop("add", 2 ** 31 - 1, 1, ty.i32) == -(2 ** 31)
+        assert ops.eval_binop("mul", 2 ** 30, 4, ty.i32) == 0
+
+    def test_shifts(self):
+        assert ops.eval_binop("shl", 1, 31, ty.i32) == -(2 ** 31)
+        assert ops.eval_binop("ashr", -8, 1, ty.i32) == -4
+        assert ops.eval_binop("lshr", -1, 28, ty.i32) == 15
+
+    @given(i32s, i32s)
+    def test_div_rem_identity(self, a, b):
+        if b == 0:
+            return
+        q = ops.eval_binop("div", a, b, ty.i64)
+        r = ops.eval_binop("rem", a, b, ty.i64)
+        assert q * b + r == a
+
+    @given(i32s, i32s)
+    def test_add_matches_wrapped_python(self, a, b):
+        assert ops.eval_binop("add", a, b, ty.i32) == ty.i32.wrap(a + b)
+
+    @given(i32s, i32s)
+    def test_xor_self_inverse(self, a, b):
+        x = ops.eval_binop("xor", a, b, ty.i32)
+        assert ops.eval_binop("xor", x, b, ty.i32) == a
+
+
+class TestFixedOps:
+    FX = ty.fixed(32, 16)
+
+    def test_add(self):
+        a = self.FX.from_float(1.5)
+        b = self.FX.from_float(2.25)
+        result = ops.eval_binop("add", a, b, self.FX)
+        assert self.FX.to_float(result) == 3.75
+
+    def test_mul_rescales(self):
+        a = self.FX.from_float(1.5)
+        b = self.FX.from_float(2.0)
+        result = ops.eval_binop("mul", a, b, self.FX)
+        assert self.FX.to_float(result) == 3.0
+
+    def test_div(self):
+        a = self.FX.from_float(3.0)
+        b = self.FX.from_float(2.0)
+        result = ops.eval_binop("div", a, b, self.FX)
+        assert self.FX.to_float(result) == 1.5
+
+    @given(st.floats(min_value=0.25, max_value=100, allow_nan=False),
+           st.floats(min_value=0.25, max_value=100, allow_nan=False))
+    def test_mul_approximates_real(self, x, y):
+        a = self.FX.from_float(x)
+        b = self.FX.from_float(y)
+        result = self.FX.to_float(ops.eval_binop("mul", a, b, self.FX))
+        assert result == pytest.approx(x * y, abs=0.01)
+
+    def test_raw_compare_preserves_order(self):
+        a = self.FX.from_float(-1.5)
+        b = self.FX.from_float(2.5)
+        assert ops.eval_cmp("lt", a, b, self.FX) == 1
+
+
+class TestUnaryAndConvert:
+    def test_neg(self):
+        assert ops.eval_unop("neg", 5, ty.i32) == -5
+        assert ops.eval_unop("neg", -(2 ** 31), ty.i32) == -(2 ** 31)  # wrap
+
+    def test_not(self):
+        assert ops.eval_unop("not", 0, ty.i32) == -1
+
+    def test_lnot(self):
+        assert ops.eval_unop("lnot", 0, ty.i1) == 1
+        assert ops.eval_unop("lnot", 7, ty.i32) == 0
+
+    def test_int_to_fixed_exact(self):
+        fx = ty.fixed(32, 16)
+        raw = ops.convert_scalar(7, ty.i32, fx)
+        assert fx.to_float(raw) == 7.0
+
+    def test_fixed_to_int_truncates(self):
+        fx = ty.fixed(32, 16)
+        raw = fx.from_float(3.75)
+        assert ops.convert_scalar(raw, fx, ty.i32) == 3
+
+    def test_float_to_int(self):
+        assert ops.convert_scalar(3.99, ty.f32, ty.i32) == 3
+
+    def test_narrowing_int_wraps(self):
+        assert ops.convert_scalar(300, ty.i32, ty.i8) == 300 - 256
+
+    @given(i32s)
+    def test_int_float_roundtrip_small(self, v):
+        v = v % 1000
+        f = ops.convert_scalar(v, ty.i32, ty.f64)
+        assert ops.convert_scalar(f, ty.f64, ty.i32) == v
+
+    def test_as_python_number_fixed(self):
+        fx = ty.fixed(16, 8)
+        assert ops.as_python_number(fx.from_float(2.5), fx) == 2.5
+
+    def test_eval_cmp_all_ops(self):
+        assert ops.eval_cmp("eq", 3, 3, ty.i32) == 1
+        assert ops.eval_cmp("ne", 3, 4, ty.i32) == 1
+        assert ops.eval_cmp("lt", 3, 4, ty.i32) == 1
+        assert ops.eval_cmp("le", 4, 4, ty.i32) == 1
+        assert ops.eval_cmp("gt", 5, 4, ty.i32) == 1
+        assert ops.eval_cmp("ge", 4, 4, ty.i32) == 1

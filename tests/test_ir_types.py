@@ -1,0 +1,133 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import types as ty
+
+
+class TestIntType:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ty.IntType(0)
+
+    def test_ranges(self):
+        assert ty.i8.min_value == -128
+        assert ty.i8.max_value == 127
+        assert ty.u8.min_value == 0
+        assert ty.u8.max_value == 255
+
+    def test_wrap_positive_overflow(self):
+        assert ty.i8.wrap(128) == -128
+        assert ty.i8.wrap(255) == -1
+        assert ty.u8.wrap(256) == 0
+
+    def test_wrap_negative(self):
+        assert ty.i8.wrap(-129) == 127
+        assert ty.u8.wrap(-1) == 255
+
+    def test_wrap_identity_in_range(self):
+        for v in (-128, -1, 0, 1, 127):
+            assert ty.i8.wrap(v) == v
+
+    @given(st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+           st.integers(min_value=1, max_value=64),
+           st.booleans())
+    def test_wrap_always_in_range(self, value, width, signed):
+        t = ty.IntType(width, signed)
+        wrapped = t.wrap(value)
+        assert t.min_value <= wrapped <= t.max_value
+
+    @given(st.integers(min_value=-(10 ** 12), max_value=10 ** 12))
+    def test_wrap_idempotent(self, value):
+        t = ty.i16
+        assert t.wrap(t.wrap(value)) == t.wrap(value)
+
+    @given(st.integers(), st.integers())
+    def test_wrap_is_congruent_mod_2w(self, a, b):
+        t = ty.IntType(12)
+        if (a - b) % (1 << 12) == 0:
+            assert t.wrap(a) == t.wrap(b)
+
+
+class TestFixedType:
+    def test_str(self):
+        assert str(ty.fixed(16, 8)) == "fixed<16,8>"
+
+    def test_scale(self):
+        assert ty.fixed(16, 8).scale == 256
+        assert ty.fixed(32, 16).frac_bits == 16
+
+    def test_float_roundtrip_representable(self):
+        t = ty.fixed(16, 8)
+        raw = t.from_float(3.5)
+        assert t.to_float(raw) == 3.5
+
+    def test_truncation_rounding(self):
+        t = ty.fixed(8, 6)  # 2 fractional bits: quantum 0.25
+        assert t.to_float(t.from_float(1.3)) == 1.25
+
+    @given(st.floats(min_value=-100, max_value=100,
+                     allow_nan=False, allow_infinity=False))
+    def test_quantization_error_bounded(self, value):
+        t = ty.fixed(32, 16)
+        raw = t.from_float(value)
+        assert abs(t.to_float(raw) - value) < 1.0 / t.scale + 1e-12
+
+
+class TestArrayType:
+    def test_flat_strides(self):
+        t = ty.ArrayType(ty.i32, (4, 5, 6))
+        assert t.size == 120
+        assert t.flat_index_strides() == (30, 6, 1)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            ty.ArrayType(ty.i32, (0,))
+        with pytest.raises(ValueError):
+            ty.ArrayType(ty.i32, ())
+
+
+class TestCommonType:
+    def test_int_widening(self):
+        assert ty.common_type(ty.i8, ty.i32) == ty.i32
+        assert ty.common_type(ty.u8, ty.i32).signed
+
+    def test_float_dominates(self):
+        assert ty.common_type(ty.i32, ty.f32) == ty.f32
+        assert ty.common_type(ty.f64, ty.f32) == ty.f64
+
+    def test_fixed_dominates_int(self):
+        fx = ty.fixed(16, 8)
+        assert ty.common_type(ty.i32, fx) == fx
+
+    def test_fixed_fixed_merges_ranges(self):
+        a = ty.fixed(16, 8)
+        b = ty.fixed(16, 12)
+        merged = ty.common_type(a, b)
+        assert merged.int_bits == 12
+        assert merged.frac_bits == 8
+
+    def test_identity(self):
+        assert ty.common_type(ty.i32, ty.i32) is ty.i32
+
+
+class TestDefaults:
+    def test_default_values(self):
+        assert ty.default_value(ty.i32) == 0
+        assert ty.default_value(ty.f32) == 0.0
+        assert ty.default_value(ty.fixed(16, 8)) == 0
+
+    def test_default_value_rejects_aggregates(self):
+        with pytest.raises(TypeError):
+            ty.default_value(ty.ArrayType(ty.i32, (4,)))
+
+    def test_float_width_validation(self):
+        with pytest.raises(ValueError):
+            ty.FloatType(16)
+
+    def test_f32_rounds_through_single(self):
+        # 0.1 is not representable in binary32.
+        assert ty.f32.wrap(0.1) != 0.1
+        assert ty.f64.wrap(0.1) == 0.1

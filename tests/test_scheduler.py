@@ -1,0 +1,184 @@
+"""Static scheduling tests: stages, latencies, resource constraints."""
+
+from repro.hls.kernel import kernel_from_source
+from repro.ir import instructions as ins
+from repro.synthesis import (
+    ResourceModel,
+    SynthesisConfig,
+    estimate_function_latency,
+    schedule_function,
+)
+
+
+def scheduled(source: str, consts=None, config=None):
+    fn = kernel_from_source(source).compile(consts or {})
+    return fn, schedule_function(fn, config or SynthesisConfig())
+
+
+def find(fn, cls):
+    return [i for i in fn.iter_instructions() if isinstance(i, cls)]
+
+
+class TestBlockScheduling:
+    def test_combinational_ops_share_stage(self):
+        fn, sched = scheduled("""
+def k(a: hls.In(hls.i32), out: hls.ScalarOut(hls.i32)):
+    out.set(a + 1 + 2 + 3)
+""", {"a": 1})
+        adds = find(fn, ins.BinOp)
+        block = adds[0].block if adds else None
+        # Constant folding may eliminate everything; tolerate that.
+        if adds:
+            stages = {sched.for_block(a.block).stage_of(a) for a in adds}
+            assert max(stages) <= 1
+
+    def test_multiply_adds_latency(self):
+        fn, sched = scheduled("""
+def k(a: hls.In(hls.i32), b: hls.In(hls.i32),
+      out: hls.ScalarOut(hls.i32)):
+    out.set(a * b + a)
+""", {"a": 3, "b": 4})
+        # Constants fold; use non-foldable via buffer instead.
+        fn, sched = scheduled("""
+def k(data: hls.BufferIn(hls.i32, 4), out: hls.ScalarOut(hls.i32)):
+    out.set(data[0] * data[1] + data[2])
+""")
+        muls = find(fn, ins.BinOp)
+        mul = next(i for i in muls if i.op == "mul")
+        add = next(i for i in muls if i.op == "add")
+        bs = sched.for_block(mul.block)
+        assert bs.stage_of(add) >= bs.stage_of(mul) + 2  # int_mul latency
+
+    def test_same_fifo_accesses_serialize(self):
+        fn, sched = scheduled("""
+def k(out: hls.StreamOut(hls.i32)):
+    out.write(1)
+    out.write(2)
+    out.write(3)
+""")
+        writes = find(fn, ins.FifoWrite)
+        bs = sched.for_block(writes[0].block)
+        stages = [bs.stage_of(w) for w in writes]
+        assert stages == sorted(stages)
+        assert len(set(stages)) == 3  # strictly increasing
+
+    def test_different_fifos_can_share_a_stage(self):
+        fn, sched = scheduled("""
+def k(a: hls.StreamOut(hls.i32), b: hls.StreamOut(hls.i32)):
+    a.write(1)
+    b.write(2)
+""")
+        writes = find(fn, ins.FifoWrite)
+        bs = sched.for_block(writes[0].block)
+        assert bs.stage_of(writes[0]) == bs.stage_of(writes[1])
+
+    def test_dual_port_bram_limit(self):
+        fn, sched = scheduled("""
+def k(data: hls.BufferIn(hls.i32, 8), out: hls.ScalarOut(hls.i32)):
+    out.set(data[0] + data[1] + data[2] + data[3])
+""")
+        loads = [i for i in find(fn, ins.Load) if i.index is not None]
+        bs = sched.for_block(loads[0].block)
+        stage_counts = {}
+        for load in loads:
+            stage = bs.stage_of(load)
+            stage_counts[stage] = stage_counts.get(stage, 0) + 1
+        assert max(stage_counts.values()) <= 2
+
+    def test_store_load_dependence(self):
+        fn, sched = scheduled("""
+def k(buf: hls.Buffer(hls.i32, (8,)), out: hls.ScalarOut(hls.i32)):
+    buf[0] = 5
+    out.set(buf[0])
+""")
+        store = find(fn, ins.Store)[0]
+        load = [i for i in find(fn, ins.Load) if i.index is not None][0]
+        bs = sched.for_block(store.block)
+        assert bs.stage_of(load) >= bs.stage_of(store)
+
+    def test_block_latency_minimum_one(self):
+        fn, sched = scheduled("""
+def k(out: hls.ScalarOut(hls.i32)):
+    out.set(1)
+""")
+        assert all(bs.latency >= 1 for bs in sched.blocks.values())
+
+    def test_custom_resource_model(self):
+        fast = SynthesisConfig(resources=ResourceModel(int_mul=0))
+        fn, sched = scheduled("""
+def k(data: hls.BufferIn(hls.i32, 4), out: hls.ScalarOut(hls.i32)):
+    out.set(data[0] * data[1])
+""", config=fast)
+        muls = [i for i in find(fn, ins.BinOp) if i.op == "mul"]
+        loads = [i for i in find(fn, ins.Load) if i.index is not None]
+        bs = sched.for_block(muls[0].block)
+        # With zero-latency multiply, the mul chains right after the loads.
+        assert bs.stage_of(muls[0]) == max(bs.stage_of(ld)
+                                           for ld in loads) + 1
+
+
+class TestStaticReport:
+    def test_static_loop_latency_known(self):
+        fn, sched = scheduled("""
+def k(data: hls.BufferIn(hls.i32, 8), out: hls.ScalarOut(hls.i32)):
+    total = 0
+    for i in range(8):
+        hls.pipeline(ii=1)
+        total += data[i]
+    out.set(total)
+""")
+        estimate = estimate_function_latency(sched)
+        assert estimate.known
+        assert estimate.cycles > 8  # at least one cycle per iteration
+
+    def test_variable_bound_unknown(self):
+        fn, sched = scheduled("""
+def k(n: hls.In(hls.i32), out: hls.ScalarOut(hls.i32)):
+    total = 0
+    i = 0
+    while i < n:
+        total += i
+        i += 1
+    out.set(total)
+""", {"n": 4})
+        # In() params are specialized, so craft a data-dependent bound:
+        fn, sched = scheduled("""
+def k(data: hls.BufferIn(hls.i32, 4), out: hls.ScalarOut(hls.i32)):
+    total = 0
+    i = 0
+    while i < data[0]:
+        total += i
+        i += 1
+    out.set(total)
+""")
+        estimate = estimate_function_latency(sched)
+        assert not estimate.known
+        assert str(estimate) == "?"
+
+    def test_trip_hint_restores_estimate(self):
+        fn, sched = scheduled("""
+def k(data: hls.BufferIn(hls.i32, 4), out: hls.ScalarOut(hls.i32)):
+    total = 0
+    i = 0
+    while i < data[0]:
+        hls.trip_count(10)
+        total += i
+        i += 1
+    out.set(total)
+""")
+        estimate = estimate_function_latency(sched)
+        assert estimate.known
+
+    def test_pipelined_loop_estimate_uses_ii(self):
+        def build(ii):
+            _fn, sched = scheduled(f"""
+def k(data: hls.BufferIn(hls.i32, 64), out: hls.ScalarOut(hls.i32)):
+    total = 0
+    for i in range(64):
+        hls.pipeline(ii={ii})
+        total += data[i]
+    out.set(total)
+""")
+            return estimate_function_latency(sched).cycles
+
+        assert build(4) > build(1) + 64  # II dominates trip count

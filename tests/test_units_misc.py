@@ -1,0 +1,246 @@
+"""Unit tests: ledger, FIFO channel, AXI port, IR printer/verifier, CLI."""
+
+import pytest
+
+from repro import compile_design, hls
+from repro.cli import main as cli_main
+from repro.errors import SimulationError, VerificationError
+from repro.ir import IRBuilder, function_to_text, verify_function
+from repro.ir import types as ty
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import Argument, Constant
+from repro.runtime.axi import AxiPort
+from repro.runtime.fifo import FifoChannel
+from repro.runtime.requests import FifoWrite, StartTask
+from repro.sim.ledger import ModuleLedger
+
+
+class TestFifoChannel:
+    def test_value_flow(self):
+        fifo = FifoChannel("f", 2)
+        assert fifo.push_value(10) == 1
+        assert fifo.push_value(20) == 2
+        r = fifo.assign_read_index()
+        assert fifo.value_available(r)
+        assert fifo.value_for(r) == 10
+
+    def test_commit_tables(self):
+        fifo = FifoChannel("f", 2)
+        fifo.push_value(1)
+        fifo.commit_write(1, 5)
+        assert fifo.write_time(1) == 5
+        assert fifo.write_time(2) is None
+        fifo.assign_read_index()
+        fifo.commit_read(1, 7)
+        assert fifo.read_time(1) == 7
+
+    def test_out_of_order_commit_asserts(self):
+        fifo = FifoChannel("f", 2)
+        fifo.push_value(1)
+        fifo.push_value(2)
+        with pytest.raises(AssertionError):
+            fifo.commit_write(2, 5)
+
+    def test_occupancy_view(self):
+        fifo = FifoChannel("f", 1)
+        fifo.push_value(1)
+        fifo.commit_write(1, 3)
+        assert not fifo.can_read_at(3)   # strictly-after semantics
+        assert fifo.can_read_at(4)
+        assert not fifo.can_write_at(4)  # depth 1, not yet read
+        fifo.assign_read_index()
+        fifo.commit_read(1, 6)
+        assert not fifo.can_write_at(6)
+        assert fifo.can_write_at(7)
+
+    def test_leftover(self):
+        fifo = FifoChannel("f", 4)
+        fifo.push_value(1)
+        fifo.push_value(2)
+        assert fifo.leftover() == 2
+
+
+class TestAxiPort:
+    def test_read_burst_flow(self):
+        port = AxiPort("m", list(range(16)), read_latency=10)
+        req = port.emit_read_req(4, 3)
+        beat, value = port.emit_read_beat()
+        assert (beat, value) == (0, 4)
+        assert port.read_beat_ready(0) is None  # request not committed
+        port.commit_read_req(req, 2)
+        assert port.read_beat_ready(0) == 12
+        assert port.read_beat_ready(0) == 2 + 10
+
+    def test_read_beyond_burst_raises(self):
+        port = AxiPort("m", list(range(16)))
+        port.emit_read_req(0, 1)
+        port.emit_read_beat()
+        with pytest.raises(SimulationError):
+            port.emit_read_beat()
+
+    def test_write_resp_after_last_beat(self):
+        port = AxiPort("m", [0] * 8, write_latency=4)
+        req = port.emit_write_req(0, 2)
+        port.emit_write_beat(7)
+        port.emit_write_beat(9)
+        burst = port.emit_write_resp()
+        assert port.memory[:2] == [7, 9]
+        assert port.write_resp_ready(burst) is None
+        port.commit_write_beat(0, 10)
+        port.commit_write_beat(1, 11)
+        assert port.write_resp_ready(burst) == 15
+
+    def test_resp_before_beats_raises(self):
+        port = AxiPort("m", [0] * 8)
+        port.emit_write_req(0, 2)
+        port.emit_write_beat(1)
+        with pytest.raises(SimulationError):
+            port.emit_write_resp()
+
+    def test_out_of_bounds_burst(self):
+        port = AxiPort("m", [0] * 8)
+        with pytest.raises(SimulationError):
+            port.emit_read_req(6, 4)
+
+
+class TestLedger:
+    def _request(self, nominal, segment=0, base=0, pipelined=False):
+        request = StartTask("m", 1, nominal)
+        request.segment = segment
+        request.seg_base = base
+        request.pipelined = pipelined
+        return request
+
+    def test_straight_line_stall_propagates(self):
+        ledger = ModuleLedger("m")
+        e1 = ledger.add(self._request(5))
+        e2 = ledger.add(self._request(8))
+        head = ledger.head()
+        assert ledger.ready_of(head) == 5
+        ledger.commit(head, 9)  # stalled 4 cycles
+        head = ledger.head()
+        assert ledger.ready_of(head) == 12  # 8 + 4
+
+    def test_segment_transition_elastic(self):
+        ledger = ModuleLedger("m")
+        # iteration 0 (base 10): event at offset 5, stalls to 20
+        ledger.add(self._request(15, segment=1, base=10, pipelined=True))
+        # iteration 1 (base 12): event at offset 0
+        ledger.add(self._request(12, segment=2, base=12, pipelined=True))
+        head = ledger.head()
+        ledger.commit(head, 20)  # effective start becomes 15
+        head = ledger.head()
+        # E_next = 15 + (12 - 10) = 17; offset 0 -> ready 17 (< 20!)
+        assert ledger.ready_of(head) == 17
+
+    def test_commit_before_ready_asserts(self):
+        ledger = ModuleLedger("m")
+        ledger.add(self._request(5))
+        head = ledger.head()
+        with pytest.raises(AssertionError):
+            ledger.commit(head, 3)
+
+    def test_commit_order_enforced(self):
+        ledger = ModuleLedger("m")
+        ledger.add(self._request(5))
+        later = ledger.add(self._request(8))
+        with pytest.raises(AssertionError):
+            ledger.commit(later, 9)
+
+    def test_future_commit_bound(self):
+        ledger = ModuleLedger("m")
+        ledger.add(self._request(15, segment=1, base=10, pipelined=True))
+        ledger.head()
+        # offset 5, pipelined: later iterations can run 4 cycles earlier.
+        assert ledger.future_commit_bound(30) == 26
+        ledger2 = ModuleLedger("m2")
+        ledger2.add(self._request(15))
+        ledger2.head()
+        assert ledger2.future_commit_bound(30) == 30
+
+
+class TestIRInfrastructure:
+    def _tiny_function(self):
+        arg = Argument(ty.StreamType(ty.i32), "s", "stream_out", 0)
+        fn = Function("tiny", [arg])
+        builder = IRBuilder(fn)
+        entry = builder.new_block("entry")
+        builder.set_block(entry)
+        from repro.ir import instructions as ins
+
+        builder.emit(ins.FifoWrite(arg, Constant(ty.i32, 42)))
+        builder.ret()
+        return fn
+
+    def test_printer_renders(self):
+        text = function_to_text(self._tiny_function())
+        assert "func @tiny" in text
+        assert "fifo.write" in text
+
+    def test_verifier_accepts_wellformed(self):
+        verify_function(self._tiny_function())
+
+    def test_verifier_rejects_missing_terminator(self):
+        fn = Function("bad", [])
+        fn.add_block(BasicBlock("entry"))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_verifier_rejects_foreign_branch(self):
+        from repro.ir import instructions as ins
+
+        fn = Function("bad2", [])
+        block = fn.add_block(BasicBlock("entry"))
+        foreign = BasicBlock("foreign")
+        block.append(ins.Jump(foreign))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_ex2" in out
+        assert "skynet" in out
+
+    def test_run_small(self, capsys):
+        assert cli_main(["run", "fir_filter", "--sim", "omnisim"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_run_deadlock_exit_code(self, capsys):
+        assert cli_main(["run", "deadlock", "--sim", "omnisim"]) == 2
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_run_unsupported_exit_code(self, capsys):
+        assert cli_main(
+            ["run", "fig4_ex2", "--sim", "lightningsim"]
+        ) == 3
+
+    def test_classify(self, capsys):
+        assert cli_main(["classify", "fig4_ex3"]) == 0
+        assert "type" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert cli_main(["report", "fir_filter"]) == 0
+        assert "static latency" in capsys.readouterr().out
+
+    def test_depth_override(self, capsys):
+        assert cli_main(["run", "fig4_ex1", "--depth", "fifo=8"]) == 0
+
+
+class TestStaticReportNarrative:
+    def test_dynamic_designs_unknown(self):
+        """The paper's motivation: static estimates are unavailable for
+        designs with data-dependent control flow."""
+        from repro import designs
+
+        compiled = compile_design(designs.get("fig4_ex5").make(n=20))
+        assert all(not m.static_latency.known for m in compiled.modules)
+
+    def test_static_designs_estimated(self):
+        from repro import designs
+
+        compiled = compile_design(designs.get("fir_filter").make())
+        assert all(m.static_latency.known for m in compiled.modules)
