@@ -36,6 +36,22 @@ def test_incremental_resimulation(benchmark):
     assert outcome.cycles > 0
 
 
+def test_depth_sweep_cached_edges(benchmark):
+    """A whole depth sweep per benchmark round: the static-edge cache
+    makes each configuration pay only the WAR overlay + relaxation."""
+    _compiled, result = base_result()
+    depths = list(range(3, 35))
+
+    def sweep():
+        return [resimulate(result, {"fifo2": d}).cycles for d in depths]
+
+    cycles = benchmark(sweep)
+    # fifo2 never congests, so every configuration must retime to
+    # exactly the recorded run's latency — a cache regression that
+    # mis-times any node breaks the equality.
+    assert cycles == [result.cycles] * len(depths)
+
+
 def test_full_resimulation_after_violation(benchmark):
     compiled, result = base_result()
     with pytest.raises(ConstraintViolation):
@@ -94,6 +110,21 @@ def main() -> None:
           f"P2={result.scalars['processed_by_P2']}, "
           f"cycles={result.cycles}, "
           f"constraints recorded={len(result.constraints)}")
+
+    from repro.bench import bench_retime
+
+    sweep = bench_retime("fig4_ex5", {"n": EX5_N}, "fifo2", range(3, 35))
+    print(f"\ndepth sweep over fifo2=3..34 "
+          f"({sweep['configs']} configurations):")
+    print(f"  per-config retime, cached static edges : "
+          f"{fmt_seconds(sweep['retime_sec_per_config_cached'])}")
+    print(f"  per-config retime, edges rebuilt       : "
+          f"{fmt_seconds(sweep['retime_sec_per_config_uncached'])}")
+    print(f"  cache speedup                          : "
+          f"{sweep['retime_cache_speedup']:.1f}x")
+    print(f"  incremental re-simulations             : "
+          f"{sweep['resimulations_per_sec']:,.0f} configs/s "
+          f"({sweep['sweeps_per_sec']:,.1f} full sweeps/s)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,230 @@
+"""Performance benchmark harness: the ``repro bench`` subcommand.
+
+Runs the design registry under both Func Sim executors and sweeps FIFO
+depths through the retiming path, then writes ``BENCH_perf.json`` — the
+repository's performance trajectory file.  Three headline metrics:
+
+* **events/sec** — Perf Sim request throughput of a full OmniSim run
+  (the paper's Fig. 8(b) axis), for the interpreter and the
+  closure-compiled executor;
+* **cycles simulated/sec** — simulated hardware cycles per wall-clock
+  second;
+* **retime sweeps/sec** — incremental re-simulations per second across a
+  FIFO depth sweep (paper Table 6), with the cached static-edge build
+  compared against a from-scratch rebuild per configuration.
+
+``--smoke`` runs a single small design of each kind so CI can guard
+against perf-path regressions without paying the full suite.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timezone
+
+from . import compile_design, designs
+from .errors import ConstraintViolation
+from .sim import OmniSimulator, resimulate
+
+#: registry designs benchmarked per group (group -> [(name, params)])
+BENCH_GROUPS = {
+    "typea_large": [
+        ("vector_add_stream", {}),
+        ("flowgnn_gin", {}),
+        ("flowgnn_gcn", {}),
+        ("flowgnn_gat", {}),
+        ("flowgnn_pna", {}),
+        ("flowgnn_dgn", {}),
+        ("inr_arch", {}),
+        ("skynet", {}),
+    ],
+    "typebc": [
+        ("fig4_ex5", {"n": 800}),
+        ("fig2_timer", {"n": 800}),
+        ("branch", {"n": 800}),
+        ("multicore", {"n": 250}),
+    ],
+}
+
+SMOKE_GROUPS = {
+    "smoke": [
+        ("vector_add_stream", {"n": 256}),
+        ("fig4_ex5", {"n": 100}),
+    ],
+}
+
+#: (design, params, swept fifo, depth range) for the retime sweep; the
+#: swept FIFO must stay uncongested so recorded constraints remain valid
+#: (Table 6's incremental row).
+RETIME_SWEEPS = [
+    ("fig4_ex5", {"n": 800}, "fifo2", range(3, 35)),
+]
+
+SMOKE_RETIME_SWEEPS = [
+    ("fig4_ex5", {"n": 100}, "fifo2", range(3, 9)),
+]
+
+
+def _timed_run(compiled, executor: str, repeats: int) -> dict:
+    """Best-of-``repeats`` timing (one-shot numbers are jittery)."""
+    seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = OmniSimulator(compiled, executor=executor).run()
+        seconds = min(seconds, time.perf_counter() - start)
+    return {
+        "seconds": round(seconds, 6),
+        "events": result.stats.events,
+        "cycles": result.cycles,
+        "events_per_sec": round(result.stats.events / seconds, 1),
+        "cycles_per_sec": round(result.cycles / seconds, 1),
+    }
+
+
+def bench_design(name: str, params: dict, repeats: int = 3) -> dict:
+    """Events/sec and cycles/sec of one design under both executors."""
+    compiled = compile_design(designs.get(name).make(**params))
+    # Warm both paths: the first compiled run pays the closure lowering.
+    OmniSimulator(compiled, executor="interp").run()
+    OmniSimulator(compiled, executor="compiled").run()
+    interp = _timed_run(compiled, "interp", repeats)
+    compiled_run = _timed_run(compiled, "compiled", repeats)
+    return {
+        "params": params,
+        "events": compiled_run["events"],
+        "cycles": compiled_run["cycles"],
+        "interp": interp,
+        "compiled": compiled_run,
+        "speedup_events_per_sec": round(
+            compiled_run["events_per_sec"] / interp["events_per_sec"], 2
+        ),
+    }
+
+
+def bench_retime(name: str, params: dict, fifo: str, depth_range) -> dict:
+    """Per-configuration retime cost across a depth sweep, cached static
+    edges vs a from-scratch edge rebuild per configuration."""
+    compiled = compile_design(designs.get(name).make(**params))
+    result = OmniSimulator(compiled, executor="compiled").run()
+    graph = result.graph
+    base_depths = {n: ch.depth for n, ch in result.fifo_channels.items()}
+    configs = [dict(base_depths, **{fifo: d}) for d in depth_range]
+
+    graph.retime(configs[0])  # warm the static-edge cache
+    start = time.perf_counter()
+    for depths in configs:
+        graph.retime(depths)
+    cached = (time.perf_counter() - start) / len(configs)
+
+    start = time.perf_counter()
+    for depths in configs:
+        graph.retime(depths, use_cache=False)
+    uncached = (time.perf_counter() - start) / len(configs)
+
+    # Full incremental re-simulations (retime + constraint revalidation).
+    violations = 0
+    start = time.perf_counter()
+    for depths in configs:
+        try:
+            resimulate(result, {fifo: depths[fifo]})
+        except ConstraintViolation:
+            violations += 1
+    resim = (time.perf_counter() - start) / len(configs)
+
+    return {
+        "params": params,
+        "fifo": fifo,
+        "configs": len(configs),
+        "constraint_violations": violations,
+        "retime_sec_per_config_cached": round(cached, 6),
+        "retime_sec_per_config_uncached": round(uncached, 6),
+        "retime_cache_speedup": round(uncached / cached, 2),
+        "resimulate_sec_per_config": round(resim, 6),
+        #: single-configuration incremental re-simulations per second
+        "resimulations_per_sec": round(1.0 / resim, 1),
+        #: full depth sweeps (all configs) per second
+        "sweeps_per_sec": round(1.0 / (resim * len(configs)), 2),
+    }
+
+
+def _aggregate(entries: list[dict]) -> dict:
+    """Group throughput: total events / total wall-clock per executor."""
+    out = {}
+    for executor in ("interp", "compiled"):
+        events = sum(e[executor]["events"] for e in entries)
+        cycles = sum(e[executor]["cycles"] for e in entries)
+        seconds = sum(e[executor]["seconds"] for e in entries)
+        out[executor] = {
+            "events_per_sec": round(events / seconds, 1),
+            "cycles_per_sec": round(cycles / seconds, 1),
+            "seconds": round(seconds, 6),
+        }
+    out["speedup_events_per_sec"] = round(
+        out["compiled"]["events_per_sec"] / out["interp"]["events_per_sec"],
+        2,
+    )
+    return out
+
+
+def run_bench(smoke: bool = False, echo=print) -> dict:
+    """Run the full benchmark matrix; returns the report dict."""
+    groups = SMOKE_GROUPS if smoke else BENCH_GROUPS
+    sweeps = SMOKE_RETIME_SWEEPS if smoke else RETIME_SWEEPS
+    report = {
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "omnisim": {},
+        "groups": {},
+        "retime": {},
+    }
+    repeats = 1 if smoke else 3
+    for group, entries in groups.items():
+        results = []
+        for name, params in entries:
+            echo(f"bench {name} ...")
+            entry = bench_design(name, params, repeats=repeats)
+            report["omnisim"][name] = entry
+            results.append(entry)
+            echo(
+                f"  interp {entry['interp']['events_per_sec']:>12,.0f}"
+                f" ev/s   compiled"
+                f" {entry['compiled']['events_per_sec']:>12,.0f} ev/s"
+                f"   ({entry['speedup_events_per_sec']:.2f}x)"
+            )
+        report["groups"][group] = _aggregate(results)
+        agg = report["groups"][group]
+        echo(
+            f"group {group}: {agg['speedup_events_per_sec']:.2f}x"
+            f" events/sec (compiled vs interp)"
+        )
+    for name, params, fifo, depth_range in sweeps:
+        echo(f"retime sweep {name} ({fifo}) ...")
+        entry = bench_retime(name, params, fifo, depth_range)
+        report["retime"][name] = entry
+        echo(
+            f"  {entry['resimulations_per_sec']:,.0f} re-simulations/s"
+            f" ({entry['sweeps_per_sec']:,.1f} full sweeps/s), cached"
+            f" retime {entry['retime_cache_speedup']:.1f}x faster than"
+            f" rebuild"
+        )
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(smoke: bool = False, out: str = "BENCH_perf.json",
+         echo=print) -> int:
+    report = run_bench(smoke=smoke, echo=echo)
+    write_report(report, out)
+    echo(f"wrote {out}")
+    return 0

@@ -4,9 +4,12 @@ Commands:
 
 * ``list`` — enumerate the registered benchmark designs;
 * ``run <design> [--sim omnisim|cosim|csim|lightningsim|omnisim-threads]
-  [--depth fifo=N ...]`` — simulate a design and print its outputs;
+  [--executor compiled|interp] [--depth fifo=N ...]`` — simulate a design
+  and print its outputs;
 * ``classify <design>`` — Type A/B/C taxonomy analysis;
-* ``report <design>`` — static C-synthesis report per module.
+* ``report <design>`` — static C-synthesis report per module;
+* ``bench [--smoke] [--out FILE]`` — run the performance benchmark
+  matrix and write ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -14,10 +17,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import bench as bench_module
 from . import compile_design, designs
 from .analysis import classify, render_table
 from .errors import DeadlockError, ReproError, UnsupportedDesignError
 from .sim import (
+    EXECUTORS,
     CoSimulator,
     CSimulator,
     LightningSimulator,
@@ -60,7 +65,7 @@ def cmd_run(args) -> int:
     spec = designs.get(args.design)
     compiled = compile_design(spec.make())
     sim_class = SIMULATORS[args.sim]
-    kwargs = {}
+    kwargs = {"executor": args.executor}
     if args.sim not in ("csim",):
         kwargs["depths"] = _parse_depths(args.depth)
     try:
@@ -88,6 +93,10 @@ def cmd_run(args) -> int:
     print(f"frontend   : {result.frontend_seconds:.3f} s")
     print(f"execution  : {result.execute_seconds:.3f} s")
     return 0
+
+
+def cmd_bench(args) -> int:
+    return bench_module.main(smoke=args.smoke, out=args.out)
 
 
 def cmd_classify(args) -> int:
@@ -140,8 +149,19 @@ def main(argv=None) -> int:
     run_parser.add_argument("design")
     run_parser.add_argument("--sim", choices=sorted(SIMULATORS),
                             default="omnisim")
+    run_parser.add_argument("--executor", choices=sorted(EXECUTORS),
+                            default=None,
+                            help="Func Sim executor (default: compiled)")
     run_parser.add_argument("--depth", action="append", metavar="FIFO=N",
                             help="override a FIFO depth")
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the performance benchmarks"
+    )
+    bench_parser.add_argument("--smoke", action="store_true",
+                              help="small single-design run (for CI)")
+    bench_parser.add_argument("--out", default="BENCH_perf.json",
+                              help="output JSON path")
 
     classify_parser = sub.add_parser("classify",
                                      help="taxonomy analysis (Type A/B/C)")
@@ -157,6 +177,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "classify": cmd_classify,
         "report": cmd_report,
+        "bench": cmd_bench,
     }[args.command]
     try:
         return handler(args)

@@ -33,6 +33,16 @@ from . import ops
 DEFAULT_STEP_LIMIT = 200_000_000
 
 
+def step_limit_error(module: str, step_limit: int) -> SimulationError:
+    """The step-limit diagnosis shared by both executors.  CSimulator
+    classifies hangs by matching the 'step limit' substring, so the
+    wording lives in exactly one place."""
+    return SimulationError(
+        f"module {module}: step limit exceeded "
+        f"({step_limit}); the design may be livelocked"
+    )
+
+
 @dataclass
 class _PipelineFrame:
     loop: LoopMeta
@@ -99,7 +109,6 @@ class ModuleInterpreter:
         yield req.StartTask(self.name, self._next_seq(), 0)
 
         block: BasicBlock = function.entry
-        prev_block: BasicBlock | None = None
         time = 0
         frame: _PipelineFrame | None = None
 
@@ -134,10 +143,7 @@ class ModuleInterpreter:
             for instr in block.instructions:
                 self.steps += 1
                 if self.steps > self.step_limit:
-                    raise SimulationError(
-                        f"module {self.name}: step limit exceeded "
-                        f"({self.step_limit}); the design may be livelocked"
-                    )
+                    raise step_limit_error(self.name, self.step_limit)
                 stage = block_schedule.stages.get(instr.vid, 0)
                 nominal = time + stage
 
@@ -180,7 +186,7 @@ class ModuleInterpreter:
                 pass
             else:
                 time = end_of_block
-            prev_block, block = block, next_block
+            block = next_block
 
     # ------------------------------------------------------------------
 

@@ -23,6 +23,12 @@ FifoNbRead     An NB FIFO read attempted                       yes
 FifoNbWrite    An NB FIFO write attempted                      yes
 EndTask        A dataflow task finished
 ============== ==============================================  ======
+
+Requests are the highest-volume allocation in a simulation (one per
+hardware-visible event), so every class here is slotted:
+``@dataclass(slots=True)`` generates ``__slots__`` from the fields and
+keeps instances ``__dict__``-free.  ``tests/test_units_misc.py`` guards
+the invariant.
 """
 
 from __future__ import annotations

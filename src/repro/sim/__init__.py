@@ -10,6 +10,7 @@ LightningSimulator decoupled two-phase baseline (section 5.1, Table 5)
 =================  ========================================================
 """
 
+from .context import DEFAULT_EXECUTOR, EXECUTORS, make_executor
 from .cosim import CoSimulator
 from .csim import CSimulator
 from .incremental import IncrementalResult, resimulate
@@ -23,6 +24,8 @@ __all__ = [
     "CSimulator",
     "CoSimulator",
     "Constraint",
+    "DEFAULT_EXECUTOR",
+    "EXECUTORS",
     "IncrementalResult",
     "LightningSimulator",
     "NaiveThreadedSimulator",
@@ -30,5 +33,6 @@ __all__ = [
     "SimulationResult",
     "SimulationStats",
     "ThreadedOmniSimulator",
+    "make_executor",
     "resimulate",
 ]

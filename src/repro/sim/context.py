@@ -1,14 +1,54 @@
-"""Shared runtime-state construction for all simulation engines."""
+"""Shared runtime-state construction and executor selection for all
+simulation engines."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from ..hls import ports as port_decls
+from ..interp.compiled import CompiledModuleExecutor
+from ..interp.interpreter import ModuleInterpreter
 from ..interp.ops import as_python_number
 from ..ir import types as ty
 from ..runtime.axi import AxiPort
 from ..runtime.fifo import FifoChannel
+
+# ---------------------------------------------------------------------------
+# executor selection seam
+#
+# Every engine builds its per-module Func Sim contexts through
+# ``make_executor``: the closure-compiled executor is the default, the
+# tree-walking interpreter stays available as the differential oracle
+# (``executor="interp"``).
+
+EXECUTORS = {
+    "compiled": CompiledModuleExecutor,
+    "interp": ModuleInterpreter,
+}
+
+DEFAULT_EXECUTOR = "compiled"
+
+
+def resolve_executor(name: str | None) -> str:
+    """Validate an ``executor=`` engine argument (None -> the default)."""
+    if name is None:
+        return DEFAULT_EXECUTOR
+    if name not in EXECUTORS:
+        known = ", ".join(sorted(EXECUTORS))
+        raise ValueError(f"unknown executor {name!r}; known: {known}")
+    return name
+
+
+def make_executor(module, bindings: dict, executor: str | None = None,
+                  **kwargs):
+    """Instantiate the Func Sim context of one module.
+
+    ``module`` is a :class:`~repro.compile.CompiledModule`; ``kwargs``
+    (step_limit, trace_blocks, oob_mode) are forwarded unchanged — both
+    executors share the :class:`~repro.interp.ModuleInterpreter`
+    constructor signature and generator protocol.
+    """
+    return EXECUTORS[resolve_executor(executor)](module, bindings, **kwargs)
 
 
 @dataclass

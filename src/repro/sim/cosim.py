@@ -20,8 +20,13 @@ from __future__ import annotations
 import time as _time
 
 from ..errors import DeadlockError, SimulationError
-from ..interp.interpreter import ModuleInterpreter
-from .context import RuntimeState, build_runtime_state, collect_outputs
+from .context import (
+    RuntimeState,
+    build_runtime_state,
+    collect_outputs,
+    make_executor,
+    resolve_executor,
+)
 from .ledger import INFINITY, ModuleLedger
 from .result import SimulationResult, SimulationStats
 
@@ -36,7 +41,7 @@ class _ModuleRun:
     __slots__ = ("name", "interp", "gen", "ledger", "state", "waiting",
                  "response")
 
-    def __init__(self, name: str, interp: ModuleInterpreter):
+    def __init__(self, name: str, interp):
         self.name = name
         self.interp = interp
         self.gen = interp.run()
@@ -57,11 +62,13 @@ class CoSimulator:
 
     def __init__(self, compiled, depths: dict | None = None,
                  step_limit: int | None = None,
-                 max_cycles: int = DEFAULT_MAX_CYCLES):
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 executor: str | None = None):
         self.compiled = compiled
         self.depths = dict(depths or {})
         self.step_limit = step_limit
         self.max_cycles = max_cycles
+        self.executor = resolve_executor(executor)
 
     # ------------------------------------------------------------------
 
@@ -76,8 +83,9 @@ class CoSimulator:
         if self.step_limit is not None:
             kwargs["step_limit"] = self.step_limit
         for module in self.compiled.modules:
-            interp = ModuleInterpreter(
-                module, self.state.bindings[module.name], **kwargs
+            interp = make_executor(
+                module, self.state.bindings[module.name], self.executor,
+                **kwargs
             )
             self.runs.append(_ModuleRun(module.name, interp))
         self._read_waiters: dict[str, _ModuleRun] = {}

@@ -23,9 +23,14 @@ import time as _time
 from collections import deque
 
 from ..errors import SimulatedCrash, SimulationError
-from ..interp.interpreter import ModuleInterpreter
 from ..ir import types as ty
-from .context import RuntimeState, build_runtime_state, collect_outputs
+from .context import (
+    RuntimeState,
+    build_runtime_state,
+    collect_outputs,
+    make_executor,
+    resolve_executor,
+)
 from .result import SimulationResult, SimulationStats
 
 DEFAULT_CSIM_STEP_LIMIT = 10_000_000
@@ -36,9 +41,11 @@ class CSimulator:
 
     name = "csim"
 
-    def __init__(self, compiled, step_limit: int = DEFAULT_CSIM_STEP_LIMIT):
+    def __init__(self, compiled, step_limit: int = DEFAULT_CSIM_STEP_LIMIT,
+                 executor: str | None = None):
         self.compiled = compiled
         self.step_limit = step_limit
+        self.executor = resolve_executor(executor)
 
     def run(self) -> SimulationResult:
         start = _time.perf_counter()
@@ -55,8 +62,8 @@ class CSimulator:
         ever_written: dict[str, int] = {name: 0 for name in state.fifos}
 
         for module in self.compiled.modules:
-            interp = ModuleInterpreter(
-                module, state.bindings[module.name],
+            interp = make_executor(
+                module, state.bindings[module.name], self.executor,
                 step_limit=self.step_limit, oob_mode="crash",
             )
             try:
@@ -97,7 +104,7 @@ class CSimulator:
 
     # ------------------------------------------------------------------
 
-    def _run_module(self, interp: ModuleInterpreter, state: RuntimeState,
+    def _run_module(self, interp, state: RuntimeState,
                     queues: dict, ever_written: dict, warnings: list,
                     stats: SimulationStats) -> None:
         gen = interp.run()

@@ -14,6 +14,11 @@ LightningSim's can.  Instead, every resolved timing query was recorded as a
    (:class:`~repro.errors.ConstraintViolation` is raised);
 4. otherwise the new cycle count is returned in microseconds-to-
    milliseconds, versus seconds for a full run (paper Table 6).
+
+Depth sweeps are cheap: the graph caches its depth-independent edges in
+CSR form after the first retime (see :mod:`repro.sim.graph`), so each
+additional configuration pays only the WAR-edge overlay, one relaxation
+sweep, and constraint re-validation.
 """
 
 from __future__ import annotations

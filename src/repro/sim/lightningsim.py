@@ -28,10 +28,15 @@ import time as _time
 from collections import deque
 
 from ..errors import SimulationError, UnsupportedDesignError
-from ..interp.interpreter import ModuleInterpreter
 from ..ir import instructions as ins
 from . import graph as simgraph
-from .context import RuntimeState, build_runtime_state, collect_outputs
+from .context import (
+    RuntimeState,
+    build_runtime_state,
+    collect_outputs,
+    make_executor,
+    resolve_executor,
+)
 from .result import SimulationResult, SimulationStats
 
 
@@ -41,10 +46,12 @@ class LightningSimulator:
     name = "lightningsim"
 
     def __init__(self, compiled, depths: dict | None = None,
-                 step_limit: int | None = None):
+                 step_limit: int | None = None,
+                 executor: str | None = None):
         self.compiled = compiled
         self.depths = dict(depths or {})
         self.step_limit = step_limit
+        self.executor = resolve_executor(executor)
         self.graph: simgraph.SimulationGraph | None = None
         self._traced = False
 
@@ -152,15 +159,16 @@ class LightningSimulator:
             kwargs["step_limit"] = self.step_limit
 
         for module in self._topological_order():
-            interp = ModuleInterpreter(
-                module, self._state.bindings[module.name], **kwargs
+            interp = make_executor(
+                module, self._state.bindings[module.name], self.executor,
+                **kwargs
             )
             events = self._run_module(interp, queues)
             self._instructions += interp.steps
             self._add_module_to_graph(module.name, events)
         self._traced = True
 
-    def _run_module(self, interp: ModuleInterpreter, queues: dict) -> list:
+    def _run_module(self, interp, queues: dict) -> list:
         gen = interp.run()
         response = None
         events = []

@@ -19,8 +19,13 @@ import time as _time
 from collections import deque
 
 from ..errors import SimulatedCrash, SimulationError
-from ..interp.interpreter import ModuleInterpreter
-from .context import RuntimeState, build_runtime_state, collect_outputs
+from .context import (
+    RuntimeState,
+    build_runtime_state,
+    collect_outputs,
+    make_executor,
+    resolve_executor,
+)
 from .result import SimulationResult, SimulationStats
 
 
@@ -83,11 +88,13 @@ class NaiveThreadedSimulator:
     name = "naive-threads"
 
     def __init__(self, compiled, step_limit: int = 10_000_000,
-                 timeout: float = 30.0, poll_yield: float = 0.0):
+                 timeout: float = 30.0, poll_yield: float = 0.0,
+                 executor: str | None = None):
         self.compiled = compiled
         self.step_limit = step_limit
         self.timeout = timeout
         self.poll_yield = poll_yield
+        self.executor = resolve_executor(executor)
 
     def run(self) -> SimulationResult:
         start = _time.perf_counter()
@@ -100,8 +107,8 @@ class NaiveThreadedSimulator:
         errors: list = []
 
         def worker(module):
-            interp = ModuleInterpreter(
-                module, state.bindings[module.name],
+            interp = make_executor(
+                module, state.bindings[module.name], self.executor,
                 step_limit=self.step_limit,
             )
             gen = interp.run()

@@ -20,9 +20,14 @@ import time as _time
 from collections import deque
 
 from ..errors import DeadlockError, SimulationError
-from ..interp.interpreter import ModuleInterpreter
 from . import graph as simgraph
-from .context import RuntimeState, build_runtime_state, collect_outputs
+from .context import (
+    RuntimeState,
+    build_runtime_state,
+    collect_outputs,
+    make_executor,
+    resolve_executor,
+)
 from .ledger import INFINITY, ModuleLedger
 from .result import Constraint, SimulationResult, SimulationStats
 
@@ -33,12 +38,12 @@ DONE = 2
 
 
 class _ModuleRun:
-    """Execution state of one Func Sim context."""
+    """Execution state of one Func Sim context (either executor)."""
 
     __slots__ = ("name", "interp", "gen", "ledger", "state", "waiting",
                  "response")
 
-    def __init__(self, name: str, interp: ModuleInterpreter):
+    def __init__(self, name: str, interp):
         self.name = name
         self.interp = interp
         self.gen = interp.run()
@@ -60,10 +65,12 @@ class OmniSimulator:
     name = "omnisim"
 
     def __init__(self, compiled, depths: dict | None = None,
-                 step_limit: int | None = None):
+                 step_limit: int | None = None,
+                 executor: str | None = None):
         self.compiled = compiled
         self.depths = dict(depths or {})
         self.step_limit = step_limit
+        self.executor = resolve_executor(executor)
 
     # ------------------------------------------------------------------
 
@@ -79,8 +86,9 @@ class OmniSimulator:
         if self.step_limit is not None:
             kwargs["step_limit"] = self.step_limit
         for module in self.compiled.modules:
-            interp = ModuleInterpreter(
-                module, self.state.bindings[module.name], **kwargs
+            interp = make_executor(
+                module, self.state.bindings[module.name], self.executor,
+                **kwargs
             )
             self.runs.append(_ModuleRun(module.name, interp))
         for port, decl in self.compiled.design.axis.items():

@@ -21,6 +21,11 @@ thread arrival order, results are bit-identical to the coroutine executor
 no matter how the OS schedules the threads — the central claim of the
 paper's Fig. 2.  (The GIL makes this slower than the coroutine executor;
 it exists for fidelity and as an ablation, not for speed.)
+
+The Func Sim contexts themselves come from the executor-selection seam
+inherited through :meth:`OmniSimulator._build`, so the worker threads run
+the closure-compiled executor by default (``executor="interp"`` selects
+the tree-walking oracle).
 """
 
 from __future__ import annotations

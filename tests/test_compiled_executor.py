@@ -1,0 +1,218 @@
+"""Differential executor testing: compiled closures vs the interpreter.
+
+The closure-compiled executor (repro.interp.compiled) must be
+*bit-for-bit* equivalent to the tree-walking interpreter: same cycles,
+module end times, functional outputs, recorded constraints and deadlock
+diagnoses — on every registered design and on hypothesis-fuzzed frontend
+programs.  The interpreter stays registered as the differential oracle
+behind ``executor="interp"`` exactly for this test.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import compile_design, designs, hls
+from repro.errors import DeadlockError
+from repro.hls.kernel import kernel_from_source
+from repro.sim import CSimulator, CoSimulator, OmniSimulator
+
+from test_property_differential import build_design, config
+
+#: smaller instances for the heavyweight registry designs (mirrors the
+#: benchmark conftest's Table 3 params)
+SMALL_PARAMS = {
+    "fig4_ex2": {"n": 120}, "fig4_ex3": {"n": 120},
+    "fig4_ex4a": {"n": 120}, "fig4_ex4b": {"n": 120},
+    "fig4_ex4a_d": {"polls": 200}, "fig4_ex4b_d": {"polls": 200},
+    "fig4_ex5": {"n": 120}, "fig2_timer": {"n": 120},
+    "deadlock": {"n": 40}, "branch": {"n": 200},
+    "multicore": {"n": 60},
+}
+
+_CACHE: dict = {}
+
+
+def _compiled(name: str):
+    if name not in _CACHE:
+        params = SMALL_PARAMS.get(name, {})
+        _CACHE[name] = compile_design(designs.get(name).make(**params))
+    return _CACHE[name]
+
+
+def _run_omnisim(compiled, executor: str):
+    """Returns (result, deadlock) — exactly one is non-None."""
+    try:
+        return OmniSimulator(compiled, executor=executor).run(), None
+    except DeadlockError as exc:
+        return None, exc
+
+
+def assert_results_identical(a, b, context: str) -> None:
+    assert a.cycles == b.cycles, context
+    assert a.module_end_times == b.module_end_times, context
+    assert a.scalars == b.scalars, context
+    assert a.buffers == b.buffers, context
+    assert a.axi_memories == b.axi_memories, context
+    assert a.fifo_leftovers == b.fifo_leftovers, context
+    assert a.constraints == b.constraints, context
+    assert a.stats.events == b.stats.events, context
+    assert a.stats.queries == b.stats.queries, context
+    assert a.stats.instructions == b.stats.instructions, context
+    assert (a.stats.queries_resolved_false_by_rule
+            == b.stats.queries_resolved_false_by_rule), context
+
+
+@pytest.mark.parametrize("name", designs.names())
+def test_registry_design_is_bit_identical(name):
+    """OmniSim under the compiled executor matches the interpreter on
+    every registered design, including deadlock diagnoses."""
+    compiled = _compiled(name)
+    interp_result, interp_deadlock = _run_omnisim(compiled, "interp")
+    compiled_result, compiled_deadlock = _run_omnisim(compiled, "compiled")
+    if interp_deadlock is not None or compiled_deadlock is not None:
+        assert interp_deadlock is not None, name
+        assert compiled_deadlock is not None, name
+        assert interp_deadlock.cycle == compiled_deadlock.cycle, name
+        assert interp_deadlock.blocked == compiled_deadlock.blocked, name
+        return
+    assert_results_identical(interp_result, compiled_result, name)
+
+
+@pytest.mark.parametrize("name", designs.names())
+def test_registry_design_csim_matches(name):
+    """The C-sim baseline (sequential, crash-on-OOB executor mode) is
+    executor-invariant too: same outputs, warnings and failure verdicts."""
+    compiled = _compiled(name)
+    a = CSimulator(compiled, executor="interp").run()
+    b = CSimulator(compiled, executor="compiled").run()
+    assert a.failure == b.failure, name
+    assert a.warnings == b.warnings, name
+    assert a.scalars == b.scalars, name
+    assert a.buffers == b.buffers, name
+    assert a.fifo_leftovers == b.fifo_leftovers, name
+    assert a.stats.events == b.stats.events, name
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config)
+def test_fuzzed_stream_designs_are_bit_identical(params):
+    """Randomized producer/middle/consumer configurations (the property
+    suite's generator, including non-blocking producers)."""
+    compiled = compile_design(build_design(params))
+    a = OmniSimulator(compiled, executor="interp").run()
+    b = OmniSimulator(compiled, executor="compiled").run()
+    assert_results_identical(a, b, params)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config)
+def test_fuzzed_designs_match_cosim_under_compiled_executor(params):
+    """The paper's accuracy claim holds end-to-end with the compiled
+    executor driving both engines."""
+    compiled = compile_design(build_design(params))
+    omni = OmniSimulator(compiled, executor="compiled").run()
+    cosim = CoSimulator(compiled, executor="compiled").run()
+    assert omni.scalars == cosim.scalars, params
+    assert omni.cycles == cosim.cycles, params
+
+
+@settings(max_examples=20, deadline=None)
+@given(trip_a=st.integers(min_value=0, max_value=6),
+       trip_b=st.integers(min_value=0, max_value=6),
+       ii=st.integers(min_value=1, max_value=4),
+       scale=st.integers(min_value=-5, max_value=5),
+       branch_mod=st.integers(min_value=1, max_value=4))
+def test_fuzzed_frontend_loop_nests_are_bit_identical(
+        trip_a, trip_b, ii, scale, branch_mod):
+    """The frontend-fuzz loop-nest shape (nested pipelined loops,
+    branches, buffer arithmetic) through both executors."""
+    source = f"""
+def k(data: hls.BufferIn(hls.i32, 8), out: hls.ScalarOut(hls.i32)):
+    total = 0
+    for i in range({trip_a}):
+        row = 0
+        for j in range({trip_b}):
+            hls.pipeline(ii={ii})
+            v = data[(i + j) % 8] * {scale}
+            if j % {branch_mod} == 0:
+                row += v
+            else:
+                row -= v
+        total += row + i
+    out.set(total)
+"""
+    data = [((7 * k_) % 100) - 50 for k_ in range(8)]
+    kernel = kernel_from_source(source)
+    d = hls.Design("fuzz_loop_diff")
+    buffer = d.buffer("data", hls.i32, 8, init=data)
+    out = d.scalar("out", hls.i32)
+    d.add(kernel, data=buffer, out=out)
+    compiled = compile_design(d)
+    a = OmniSimulator(compiled, executor="interp").run()
+    b = OmniSimulator(compiled, executor="compiled").run()
+    assert_results_identical(a, b, (trip_a, trip_b, ii, scale, branch_mod))
+
+
+@pytest.mark.parametrize("step_limit", [1, 7, 29, 60])
+def test_step_limit_boundary_is_bit_identical(step_limit):
+    """When the step limit falls mid-block, the compiled executor must
+    emit the interpreter's exact event prefix and raise at the same
+    instruction (the stepwise replay path)."""
+    compiled = _compiled("deadlock")
+    outcomes = []
+    for executor in ("interp", "compiled"):
+        sim = CSimulator(compiled, step_limit=step_limit,
+                         executor=executor)
+        result = sim.run()
+        outcomes.append((result.stats.events, result.warnings,
+                         result.failure, result.scalars, result.buffers))
+    assert outcomes[0] == outcomes[1], step_limit
+
+
+def test_retime_identical_across_executors():
+    """The simulation graphs produced under both executors retime to the
+    same times under new depths (segment metadata is identical)."""
+    compiled = _compiled("fig4_ex5")
+    a = OmniSimulator(compiled, executor="interp").run()
+    b = OmniSimulator(compiled, executor="compiled").run()
+    depths = {name: ch.depth for name, ch in a.fifo_channels.items()}
+    depths["fifo2"] = 40
+    assert a.graph.retime(depths) == b.graph.retime(depths)
+
+
+def test_trace_blocks_identical():
+    """TraceBlock sequences (label, nominal, segment stamps) match."""
+    from repro.sim.context import make_executor
+    from repro.sim.context import build_runtime_state
+
+    compiled = _compiled("fir_filter")
+    traces = {}
+    for executor in ("interp", "compiled"):
+        state = build_runtime_state(compiled)
+        module = compiled.modules[0]
+        ex = make_executor(module, state.bindings[module.name], executor,
+                           trace_blocks=True)
+        log = []
+        gen = ex.run()
+        response = None
+        while True:
+            try:
+                request = gen.send(response)
+            except StopIteration:
+                break
+            response = None
+            log.append((request.kind, request.seq, request.nominal,
+                        request.segment, request.seg_base,
+                        request.pipelined,
+                        getattr(request, "block_label", None)))
+            if request.kind == "fifo_read":
+                response = 0
+            elif request.kind == "axi_read":
+                response = 0
+        traces[executor] = log
+    assert traces["interp"] == traces["compiled"]

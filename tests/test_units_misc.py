@@ -244,3 +244,15 @@ class TestStaticReportNarrative:
 
         compiled = compile_design(designs.get("fir_filter").make())
         assert all(m.static_latency.known for m in compiled.modules)
+
+
+class TestRequestSlots:
+    def test_all_request_types_are_slotted(self):
+        """Requests are the highest-volume allocation of a run; keep them
+        __dict__-free (dataclass slots=True)."""
+        from repro.runtime import requests as req
+
+        for cls in req.ALL_REQUEST_TYPES + (req.Request,):
+            assert hasattr(cls, "__slots__"), cls
+            instance = cls("m", 1, 0)
+            assert not hasattr(instance, "__dict__"), cls
