@@ -11,7 +11,10 @@ repository's performance trajectory file.  Three headline metrics:
   second;
 * **retime sweeps/sec** — incremental re-simulations per second across a
   FIFO depth sweep (paper Table 6), with the cached static-edge build
-  compared against a from-scratch rebuild per configuration.
+  compared against a from-scratch rebuild per configuration;
+* **DSE configs/sec** — end-to-end depth-space exploration throughput
+  through ``repro.dse.explore`` (incremental-first with fallback),
+  including the incremental-vs-full split and Pareto frontier size.
 
 ``--smoke`` runs a single small design of each kind so CI can guard
 against perf-path regressions without paying the full suite.
@@ -64,6 +67,18 @@ RETIME_SWEEPS = [
 
 SMOKE_RETIME_SWEEPS = [
     ("fig4_ex5", {"n": 100}, "fifo2", range(3, 9)),
+]
+
+#: (design, params, depth-space specs) for the DSE throughput benchmark:
+#: one all-incremental Type A sweep and one Type C sweep whose hot FIFO
+#: forces the fallback path to run.
+DSE_SWEEPS = [
+    ("vector_add_stream", {}, ["sc=1:32"]),
+    ("fig4_ex5", {"n": 400}, ["fifo1=1:8", "fifo2=2,8"]),
+]
+
+SMOKE_DSE_SWEEPS = [
+    ("vector_add_stream", {"n": 256}, ["sc=1:8"]),
 ]
 
 
@@ -150,6 +165,27 @@ def bench_retime(name: str, params: dict, fifo: str, depth_range) -> dict:
     }
 
 
+def bench_dse(name: str, params: dict, specs: list) -> dict:
+    """End-to-end sweep throughput of the DSE engine (single process, so
+    BENCH numbers stay core-count independent)."""
+    from .dse import explore
+
+    sweep = explore(name, specs, params=params, jobs=1)
+    return {
+        "params": params,
+        "space": specs,
+        "configs": sweep.evaluated,
+        "incremental": sweep.incremental_count,
+        "full": sweep.full_count,
+        "deadlocked": sweep.deadlock_count,
+        "incremental_fraction": round(sweep.incremental_fraction, 4),
+        "pareto_size": len(sweep.pareto()),
+        "capture_seconds": round(sweep.capture_seconds, 6),
+        "sweep_seconds": round(sweep.seconds, 6),
+        "configs_per_sec": round(sweep.configs_per_sec, 1),
+    }
+
+
 def _aggregate(entries: list[dict]) -> dict:
     """Group throughput: total events / total wall-clock per executor."""
     out = {}
@@ -173,6 +209,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     """Run the full benchmark matrix; returns the report dict."""
     groups = SMOKE_GROUPS if smoke else BENCH_GROUPS
     sweeps = SMOKE_RETIME_SWEEPS if smoke else RETIME_SWEEPS
+    dse_sweeps = SMOKE_DSE_SWEEPS if smoke else DSE_SWEEPS
     report = {
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -182,6 +219,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "omnisim": {},
         "groups": {},
         "retime": {},
+        "dse": {},
     }
     repeats = 1 if smoke else 3
     for group, entries in groups.items():
@@ -212,6 +250,16 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" ({entry['sweeps_per_sec']:,.1f} full sweeps/s), cached"
             f" retime {entry['retime_cache_speedup']:.1f}x faster than"
             f" rebuild"
+        )
+    for name, params, specs in dse_sweeps:
+        echo(f"dse sweep {name} ({', '.join(specs)}) ...")
+        entry = bench_dse(name, params, specs)
+        report["dse"][name] = entry
+        echo(
+            f"  {entry['configs_per_sec']:,.1f} configs/s over"
+            f" {entry['configs']} configurations"
+            f" ({100 * entry['incremental_fraction']:.0f}% incremental,"
+            f" pareto size {entry['pareto_size']})"
         )
     return report
 

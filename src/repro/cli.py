@@ -8,13 +8,21 @@ Commands:
   and print its outputs;
 * ``classify <design>`` — Type A/B/C taxonomy analysis;
 * ``report <design>`` — static C-synthesis report per module;
+* ``dse <design> --range fifo=LO:HI [--grid fifo=V1,V2] [--samples N]
+  [--jobs J] [--json FILE]`` — depth-space exploration: sweep FIFO depth
+  configurations through the incremental path (with full-simulation
+  fallback) and report the cycles-vs-buffer-area Pareto frontier;
 * ``bench [--smoke] [--out FILE]`` — run the performance benchmark
   matrix and write ``BENCH_perf.json``.
+
+Exit codes for ``run``: 0 success, 2 deadlock, 3 unsupported design,
+4 simulated failure (e.g. the C-sim baseline's SIGSEGV).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import bench as bench_module
@@ -38,14 +46,31 @@ SIMULATORS = {
     "omnisim-threads": ThreadedOmniSimulator,
 }
 
+#: ``dse`` convenience aliases: benchmark-group names resolve to the
+#: group's representative design (mirrors ``bench.BENCH_GROUPS``).
+DSE_ALIASES = {
+    "typea_large": "vector_add_stream",
+    "typebc": "fig4_ex5",
+}
+
 
 def _parse_depths(pairs) -> dict:
     depths = {}
     for pair in pairs or []:
         name, _sep, value = pair.partition("=")
-        if not value:
-            raise SystemExit(f"--depth expects name=N, got {pair!r}")
-        depths[name] = int(value)
+        if not name or not value:
+            raise SystemExit(f"--depth expects FIFO=N, got {pair!r}")
+        try:
+            depth = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"--depth expects an integer depth, got {pair!r}"
+            ) from None
+        if depth < 1:
+            raise SystemExit(
+                f"--depth {name}: depth must be >= 1, got {depth}"
+            )
+        depths[name] = depth
     return depths
 
 
@@ -80,8 +105,9 @@ def cmd_run(args) -> int:
     print(f"simulator  : {result.simulator}")
     if result.failure:
         print(f"failure    : {result.failure}")
-    if result.cycles:
-        print(f"cycles     : {result.cycles}")
+    # Always printed: 0 is a legitimate cycle count (e.g. csim reports
+    # no timing), and hiding it made failures look like truncated output.
+    print(f"cycles     : {result.cycles}")
     for name, value in sorted(result.scalars.items()):
         print(f"output     : {name} = {value}")
     for warning in result.warnings[:10]:
@@ -92,11 +118,63 @@ def cmd_run(args) -> int:
           f"  (queries: {result.stats.queries})")
     print(f"frontend   : {result.frontend_seconds:.3f} s")
     print(f"execution  : {result.execute_seconds:.3f} s")
-    return 0
+    return 4 if result.failure else 0
 
 
 def cmd_bench(args) -> int:
     return bench_module.main(smoke=args.smoke, out=args.out)
+
+
+def cmd_dse(args) -> int:
+    from .dse import DepthSpace, explore
+
+    specs = list(args.ranges or []) + list(args.grids or [])
+    if not specs:
+        raise SystemExit(
+            "dse needs at least one --range FIFO=LO:HI[:STEP] or "
+            "--grid FIFO=V1,V2,..."
+        )
+    name = DSE_ALIASES.get(args.design, args.design)
+    space = DepthSpace.parse(specs)
+    sweep = explore(
+        name, space, samples=args.samples, seed=args.seed,
+        jobs=args.jobs, executor=args.executor,
+    )
+
+    print(f"design     : {sweep.design}")
+    print(f"space      : {', '.join(space.fifos)}"
+          f"  ({sweep.space_size} configurations)")
+    print(f"evaluated  : {sweep.evaluated}"
+          f"  (jobs: {sweep.jobs})")
+    print(f"incremental: {sweep.incremental_count}"
+          f"  ({100 * sweep.incremental_fraction:.1f}%)")
+    print(f"full resim : {sweep.full_count}")
+    if sweep.deadlock_count:
+        print(f"deadlocked : {sweep.deadlock_count}")
+    print(f"base       : cycles={sweep.base_cycles} depths="
+          + ",".join(f"{k}={v}" for k, v in sorted(
+              sweep.base_depths.items())))
+    print(f"throughput : {sweep.configs_per_sec:,.1f} configs/s"
+          f"  ({sweep.seconds:.3f} s sweep"
+          f" + {sweep.capture_seconds:.3f} s capture)")
+
+    pareto = sweep.pareto()
+    rows = [
+        (",".join(f"{f}={p.depths[f]}" for f in space.fifos),
+         p.cycles, p.buffer_bits, p.source)
+        for p in pareto
+    ]
+    print()
+    print(render_table(
+        ["depths", "cycles", "buffer bits", "via"], rows,
+        title="Pareto frontier (cycles vs FIFO buffer bits)",
+    ))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(sweep.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json_out}")
+    return 0
 
 
 def cmd_classify(args) -> int:
@@ -163,6 +241,35 @@ def main(argv=None) -> int:
     bench_parser.add_argument("--out", default="BENCH_perf.json",
                               help="output JSON path")
 
+    dse_parser = sub.add_parser(
+        "dse", help="depth-space exploration (FIFO depth sweep)"
+    )
+    dse_parser.add_argument(
+        "design",
+        help="registry design name, or a group alias "
+             f"({', '.join(sorted(DSE_ALIASES))})",
+    )
+    dse_parser.add_argument("--range", action="append", dest="ranges",
+                            metavar="FIFO=LO:HI[:STEP]",
+                            help="sweep a FIFO over an inclusive range")
+    dse_parser.add_argument("--grid", action="append", dest="grids",
+                            metavar="FIFO=V1,V2,...",
+                            help="sweep a FIFO over explicit depths")
+    dse_parser.add_argument("--samples", type=int, default=None,
+                            metavar="N",
+                            help="evaluate N seeded random configurations "
+                                 "instead of the full grid")
+    dse_parser.add_argument("--seed", type=int, default=0,
+                            help="sampling seed (default 0)")
+    dse_parser.add_argument("--jobs", type=int, default=1, metavar="J",
+                            help="shard configurations over J processes")
+    dse_parser.add_argument("--executor", choices=sorted(EXECUTORS),
+                            default=None,
+                            help="Func Sim executor (default: compiled)")
+    dse_parser.add_argument("--json", dest="json_out", metavar="FILE",
+                            default=None,
+                            help="write the full sweep result as JSON")
+
     classify_parser = sub.add_parser("classify",
                                      help="taxonomy analysis (Type A/B/C)")
     classify_parser.add_argument("design")
@@ -177,6 +284,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "classify": cmd_classify,
         "report": cmd_report,
+        "dse": cmd_dse,
         "bench": cmd_bench,
     }[args.command]
     try:

@@ -1,0 +1,43 @@
+"""Depth-space exploration (DSE) over FIFO depth configurations.
+
+The paper's headline use case for incremental re-simulation (section 7.2,
+Table 6) is sweeping FIFO depths orders of magnitude faster than full
+re-runs.  This package drives that primitive at scale:
+
+* :mod:`repro.dse.space` — depth-space specs: per-FIFO ranges, explicit
+  grids, seeded random samples;
+* :mod:`repro.dse.explorer` — the sweep engine: one graph-capturing run,
+  then incremental-first evaluation per configuration with automatic
+  full-simulation fallback + graph re-capture, optionally sharded across
+  a process pool;
+* :mod:`repro.dse.pareto` — cycles-vs-buffer-area Pareto frontier.
+
+CLI: ``repro dse <design> --range fifo=LO:HI [--jobs J]``.
+"""
+
+from .explorer import (
+    SOURCE_DEADLOCK,
+    SOURCE_FULL,
+    SOURCE_INCREMENTAL,
+    Evaluator,
+    SweepPoint,
+    SweepResult,
+    explore,
+)
+from .pareto import dominates, pareto_front
+from .space import DepthAxis, DepthSpace, parse_axis
+
+__all__ = [
+    "DepthAxis",
+    "DepthSpace",
+    "Evaluator",
+    "SOURCE_DEADLOCK",
+    "SOURCE_FULL",
+    "SOURCE_INCREMENTAL",
+    "SweepPoint",
+    "SweepResult",
+    "dominates",
+    "explore",
+    "pareto_front",
+    "parse_axis",
+]

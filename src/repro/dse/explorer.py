@@ -1,0 +1,368 @@
+"""Depth-space exploration engine: incremental-first, fallback-on-violation.
+
+The evaluation strategy per configuration (paper section 7.2 at sweep
+scale):
+
+1. **Incremental first.**  Retime the currently captured simulation graph
+   under the configuration's depths and re-validate the recorded query
+   constraints (`repro.sim.incremental.resimulate`) — microseconds per
+   point thanks to the static-edge cache.
+2. **Fallback on divergence.**  A :class:`~repro.errors.ConstraintViolation`
+   (or a graph made cyclic by the new depths) means the recorded execution
+   is invalid there: run a full OmniSim simulation at that configuration.
+3. **Re-capture.**  The divergent run's own graph becomes the new
+   reference, so subsequent nearby configurations — sweeps enumerate
+   neighbours consecutively — return to the incremental path.
+4. **True deadlocks** are recorded as points without a cycle count rather
+   than aborting the sweep.
+
+Sharding: with ``jobs > 1`` the configuration list is split into
+contiguous chunks (preserving neighbour locality) and spread over a
+``concurrent.futures`` process pool.  Each worker receives the captured
+base run once (the graph's pickle drops its static-edge cache, see
+:meth:`SimulationGraph.__getstate__`) and compiles the design lazily —
+only if one of its configurations actually needs a full re-simulation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import ConstraintViolation, DeadlockError, SimulationError
+from ..sim.incremental import resimulate
+from ..sim.omnisim import OmniSimulator
+from ..sim.result import SimulationResult
+from .pareto import pareto_front
+from .space import DepthSpace
+
+#: evaluation paths a sweep point can come from
+SOURCE_INCREMENTAL = "incremental"
+SOURCE_FULL = "full"
+SOURCE_DEADLOCK = "deadlock"
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated depth configuration."""
+
+    #: full resolved depth map (every FIFO, not just the swept axes) —
+    #: replayable via ``repro run --depth``
+    depths: dict
+    #: total simulated cycles, or None when the configuration deadlocks
+    cycles: int | None
+    #: total FIFO storage (sum of depth x element width), in bits
+    buffer_bits: int
+    #: which path produced the number (incremental / full / deadlock)
+    source: str
+    seconds: float
+    #: why the incremental path was abandoned, when it was
+    detail: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.cycles is not None
+
+    def to_json(self) -> dict:
+        return {
+            "depths": dict(self.depths),
+            "cycles": self.cycles,
+            "buffer_bits": self.buffer_bits,
+            "source": self.source,
+            "seconds": round(self.seconds, 6),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of one depth-space exploration."""
+
+    design: str
+    params: dict
+    base_depths: dict
+    base_cycles: int
+    space_size: int
+    jobs: int
+    points: list = field(default_factory=list)
+    #: wall-clock seconds of the initial graph-capturing run
+    capture_seconds: float = 0.0
+    #: wall-clock seconds of the sweep itself
+    seconds: float = 0.0
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.points)
+
+    def _count(self, source: str) -> int:
+        return sum(1 for p in self.points if p.source == source)
+
+    @property
+    def incremental_count(self) -> int:
+        return self._count(SOURCE_INCREMENTAL)
+
+    @property
+    def full_count(self) -> int:
+        return self._count(SOURCE_FULL)
+
+    @property
+    def deadlock_count(self) -> int:
+        return self._count(SOURCE_DEADLOCK)
+
+    @property
+    def incremental_fraction(self) -> float:
+        return (self.incremental_count / self.evaluated
+                if self.points else 0.0)
+
+    @property
+    def configs_per_sec(self) -> float:
+        return self.evaluated / self.seconds if self.seconds > 0 else 0.0
+
+    def pareto(self) -> list:
+        """Non-dominated points: cycles (perf) vs buffer bits (area)."""
+        return pareto_front(self.points)
+
+    def best(self) -> SweepPoint | None:
+        """The lowest-cycle point (buffer bits break ties)."""
+        ok = [p for p in self.points if p.ok]
+        if not ok:
+            return None
+        return min(ok, key=lambda p: (p.cycles, p.buffer_bits))
+
+    def to_json(self) -> dict:
+        return {
+            "design": self.design,
+            "params": dict(self.params),
+            "base_depths": dict(self.base_depths),
+            "base_cycles": self.base_cycles,
+            "space_size": self.space_size,
+            "jobs": self.jobs,
+            "evaluated": self.evaluated,
+            "incremental": self.incremental_count,
+            "full": self.full_count,
+            "deadlocked": self.deadlock_count,
+            "incremental_fraction": round(self.incremental_fraction, 4),
+            "capture_seconds": round(self.capture_seconds, 6),
+            "seconds": round(self.seconds, 6),
+            "configs_per_sec": round(self.configs_per_sec, 2),
+            "points": [p.to_json() for p in self.points],
+            "pareto": [p.to_json() for p in self.pareto()],
+        }
+
+
+def _portable_reference(result):
+    """Strip a captured run down to what incremental replay needs.
+
+    Keeps the graph, constraints and FIFO channels; drops functional
+    outputs and stats so the pickle shipped to every worker stays small.
+    """
+    return SimulationResult(
+        design_name=result.design_name,
+        simulator=result.simulator,
+        cycles=result.cycles,
+        graph=result.graph,
+        constraints=result.constraints,
+        fifo_channels=result.fifo_channels,
+    )
+
+
+class Evaluator:
+    """Incremental-first evaluation against a mutable reference run."""
+
+    def __init__(self, reference, base_depths: dict, compile_fn,
+                 executor: str | None = None):
+        #: most recent captured run; replaced on every successful fallback
+        self.reference = reference
+        self.base_depths = dict(base_depths)
+        self._compile_fn = compile_fn
+        self._compiled = None
+        self.executor = executor
+
+    @property
+    def compiled(self):
+        if self._compiled is None:
+            self._compiled = self._compile_fn()
+        return self._compiled
+
+    def evaluate(self, config: dict) -> SweepPoint:
+        depths = dict(self.base_depths)
+        depths.update(config)
+        start = _time.perf_counter()
+        try:
+            incremental = resimulate(self.reference, depths)
+        except ConstraintViolation as exc:
+            query = exc.query
+            detail = (f"constraint {query.kind} on '{query.fifo}' flipped"
+                      if query is not None else str(exc))
+            return self._evaluate_full(depths, start, detail)
+        except SimulationError as exc:
+            # The recorded graph went cyclic under these depths; let a
+            # real run decide whether the design truly deadlocks there.
+            return self._evaluate_full(depths, start, str(exc))
+        return SweepPoint(
+            depths=depths,
+            cycles=incremental.cycles,
+            buffer_bits=incremental.buffer_bits,
+            source=SOURCE_INCREMENTAL,
+            seconds=_time.perf_counter() - start,
+        )
+
+    def _evaluate_full(self, depths: dict, start: float,
+                       detail: str) -> SweepPoint:
+        try:
+            fresh = OmniSimulator(self.compiled, depths=depths,
+                                  executor=self.executor).run()
+        except DeadlockError as exc:
+            return SweepPoint(
+                depths=depths,
+                cycles=None,
+                buffer_bits=self.reference.graph.buffer_bits(depths),
+                source=SOURCE_DEADLOCK,
+                seconds=_time.perf_counter() - start,
+                detail=str(exc),
+            )
+        # Re-capture: the divergent run's graph serves the neighbourhood.
+        self.reference = fresh
+        return SweepPoint(
+            depths=depths,
+            cycles=fresh.cycles,
+            buffer_bits=fresh.graph.buffer_bits(depths),
+            source=SOURCE_FULL,
+            seconds=_time.perf_counter() - start,
+            detail=detail,
+        )
+
+
+# ---------------------------------------------------------------------------
+# process-pool sharding
+#
+# One Evaluator per worker process, built in the pool initializer from a
+# design reference — ("registry", name, params) recompiles from the design
+# registry inside the worker; ("compiled", design) ships an already
+# compiled design through pickle (ad-hoc designs built outside the
+# registry).  Module-level state because ProcessPoolExecutor tasks can
+# only reach module globals.
+
+_WORKER_EVALUATOR: Evaluator | None = None
+
+
+def _make_compile_fn(design_ref):
+    tag = design_ref[0]
+    if tag == "registry":
+        _tag, name, params = design_ref
+
+        def compile_fn():
+            from .. import compile_design, designs
+
+            return compile_design(designs.get(name).make(**params))
+
+        return compile_fn
+    compiled = design_ref[1]
+    return lambda: compiled
+
+
+def _init_worker(design_ref, base_depths, executor, reference) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = Evaluator(
+        reference, base_depths, _make_compile_fn(design_ref), executor
+    )
+
+
+def _evaluate_chunk(configs) -> list:
+    return [_WORKER_EVALUATOR.evaluate(config) for config in configs]
+
+
+def _chunk(items: list, pieces: int) -> list:
+    """Split into at most ``pieces`` contiguous runs of near-equal size
+    (contiguity keeps enumeration neighbours in one worker's shard)."""
+    pieces = max(1, min(pieces, len(items)))
+    size, rem = divmod(len(items), pieces)
+    chunks, cursor = [], 0
+    for i in range(pieces):
+        step = size + (1 if i < rem else 0)
+        chunks.append(items[cursor:cursor + step])
+        cursor += step
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+
+
+def explore(design, space, *, params: dict | None = None,
+            samples: int | None = None, seed: int = 0, jobs: int = 1,
+            executor: str | None = None) -> SweepResult:
+    """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
+
+    ``design`` is a registry name or an already-compiled design;
+    ``space`` is a :class:`DepthSpace` or a list of axis specs
+    (``"fifo=1:16"``).  ``samples`` draws a seeded random subset instead
+    of the full grid; ``jobs`` shards configurations across a process
+    pool (ad-hoc compiled designs that cannot be pickled fall back to
+    in-process evaluation; the result's ``jobs`` field reports the
+    parallelism actually used).
+    """
+    if not isinstance(space, DepthSpace):
+        space = DepthSpace.parse(space)
+    params = dict(params or {})
+    if isinstance(design, str):
+        from .. import compile_design, designs
+
+        compiled = compile_design(designs.get(design).make(**params))
+        design_ref = ("registry", design, params)
+    else:
+        compiled = design
+        design_ref = ("compiled", compiled)
+    space.validate_against(compiled.design.streams)
+    base_depths = compiled.stream_depths()
+
+    capture_start = _time.perf_counter()
+    base = OmniSimulator(compiled, executor=executor).run()
+    capture_seconds = _time.perf_counter() - capture_start
+
+    configs = (space.sample(samples, seed) if samples is not None
+               else list(space.configurations()))
+
+    sweep_start = _time.perf_counter()
+    jobs = max(1, min(jobs, len(configs) or 1))
+    if jobs > 1 and design_ref[0] == "compiled":
+        # Ad-hoc designs must cross the process boundary whole, and
+        # ``@hls.kernel``-wrapped functions don't pickle under the
+        # spawn/forkserver start methods (fork merely inherits them).
+        # Probe once and degrade to in-process evaluation instead of
+        # crashing platform-dependently; the result's ``jobs`` field
+        # reports what actually ran.
+        try:
+            pickle.dumps(compiled)
+        except Exception:
+            jobs = 1
+    if jobs == 1:
+        evaluator = Evaluator(base, base_depths, lambda: compiled, executor)
+        points = [evaluator.evaluate(config) for config in configs]
+    else:
+        reference = _portable_reference(base)
+        # 4 chunks per worker: balance against stragglers while keeping
+        # shards contiguous for re-capture locality.
+        chunks = _chunk(configs, jobs * 4)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(design_ref, base_depths, executor, reference),
+        ) as pool:
+            points = [point
+                      for chunk in pool.map(_evaluate_chunk, chunks)
+                      for point in chunk]
+    seconds = _time.perf_counter() - sweep_start
+
+    return SweepResult(
+        design=compiled.name,
+        params=params,
+        base_depths=base_depths,
+        base_cycles=base.cycles,
+        space_size=space.size,
+        jobs=jobs,
+        points=points,
+        capture_seconds=capture_seconds,
+        seconds=seconds,
+    )

@@ -1,0 +1,47 @@
+"""Pareto-frontier extraction for sweep results.
+
+The default trade-off is the paper's Table 6 axis pair: simulated cycles
+(performance) against total FIFO buffer bits (area).  Both objectives are
+minimized; the frontier keeps one representative per objective vector.
+"""
+
+from __future__ import annotations
+
+
+def _objective_vector(point, objectives):
+    return tuple(getattr(point, name) for name in objectives)
+
+
+def dominates(a, b) -> bool:
+    """True if vector ``a`` is no worse than ``b`` everywhere and
+    strictly better somewhere (minimization)."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(points, objectives=("cycles", "buffer_bits")) -> list:
+    """Non-dominated subset of ``points``, sorted by the first objective.
+
+    Points with a ``None`` objective (e.g. deadlocked configurations,
+    which have no cycle count) are excluded.  Duplicate objective vectors
+    keep their first point only.
+    """
+    scored = [
+        (_objective_vector(p, objectives), i, p)
+        for i, p in enumerate(points)
+        if all(getattr(p, name) is not None for name in objectives)
+    ]
+    scored.sort(key=lambda entry: (entry[0], entry[1]))
+    front: list = []
+    front_vectors: list = []
+    for vector, _i, point in scored:
+        # Sorted ascending, so only earlier entries can dominate later
+        # ones; equal vectors are deliberately collapsed to the first.
+        if vector in front_vectors:
+            continue
+        if any(dominates(fv, vector) for fv in front_vectors):
+            continue
+        front.append(point)
+        front_vectors.append(vector)
+    return front

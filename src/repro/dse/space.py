@@ -1,0 +1,149 @@
+"""Depth-space specification: which FIFOs to sweep, over which depths.
+
+A :class:`DepthSpace` is the cartesian product of per-FIFO axes.  Each
+axis comes from one of three spec forms (the CLI's ``--range``/``--grid``
+flags use the same grammar):
+
+* ``fifo=LO:HI`` — inclusive integer range;
+* ``fifo=LO:HI:STEP`` — inclusive range with a stride;
+* ``fifo=V1,V2,...`` — explicit depth grid (a single ``fifo=V`` pins the
+  FIFO to one depth, useful for constraining a sweep).
+
+Full grids enumerate in mixed-radix order (last axis fastest, so
+neighbouring configurations differ in one depth — the locality the
+incremental evaluator exploits); :meth:`DepthSpace.sample` draws distinct
+random configurations with a seeded RNG for reproducible subsampling of
+spaces too large to enumerate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import DseError
+
+
+@dataclass(frozen=True)
+class DepthAxis:
+    """One swept FIFO and its candidate depths, in sweep order."""
+
+    fifo: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.fifo:
+            raise DseError("depth axis needs a FIFO name")
+        if not self.values:
+            raise DseError(f"axis {self.fifo}: empty depth set")
+        for value in self.values:
+            if not isinstance(value, int) or value < 1:
+                raise DseError(
+                    f"axis {self.fifo}: depths must be integers >= 1, "
+                    f"got {value!r}"
+                )
+        # Dedupe (keeping first occurrence): repeated grid values would
+        # enumerate — and pay for — the same configuration twice.
+        deduped = tuple(dict.fromkeys(self.values))
+        if len(deduped) != len(self.values):
+            object.__setattr__(self, "values", deduped)
+
+
+def parse_axis(spec: str) -> DepthAxis:
+    """Parse one ``fifo=LO:HI[:STEP]`` or ``fifo=V1,V2,...`` spec."""
+    name, sep, rest = spec.partition("=")
+    name, rest = name.strip(), rest.strip()
+    if not sep or not name or not rest:
+        raise DseError(
+            f"bad depth-space spec {spec!r}: expected FIFO=LO:HI[:STEP] "
+            "or FIFO=V1,V2,..."
+        )
+    try:
+        if ":" in rest:
+            parts = [int(p) for p in rest.split(":")]
+            if len(parts) == 2:
+                lo, hi, step = parts[0], parts[1], 1
+            elif len(parts) == 3:
+                lo, hi, step = parts
+            else:
+                raise DseError(
+                    f"bad range in {spec!r}: expected LO:HI or LO:HI:STEP"
+                )
+            if step < 1:
+                raise DseError(f"bad range in {spec!r}: step must be >= 1")
+            if hi < lo:
+                raise DseError(f"bad range in {spec!r}: HI must be >= LO")
+            values = tuple(range(lo, hi + 1, step))
+        else:
+            values = tuple(int(p) for p in rest.split(","))
+    except ValueError:
+        raise DseError(
+            f"bad depth-space spec {spec!r}: depths must be integers"
+        ) from None
+    return DepthAxis(name, values)
+
+
+class DepthSpace:
+    """Cartesian product of per-FIFO depth axes."""
+
+    def __init__(self, axes):
+        self.axes: list[DepthAxis] = list(axes)
+        if not self.axes:
+            raise DseError("depth space needs at least one axis")
+        seen = set()
+        for axis in self.axes:
+            if axis.fifo in seen:
+                raise DseError(f"duplicate axis for FIFO {axis.fifo!r}")
+            seen.add(axis.fifo)
+
+    @classmethod
+    def parse(cls, specs) -> "DepthSpace":
+        return cls(parse_axis(spec) for spec in specs)
+
+    @property
+    def fifos(self) -> list[str]:
+        return [axis.fifo for axis in self.axes]
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def validate_against(self, known_fifos) -> None:
+        """Reject axes naming FIFOs the design does not declare."""
+        unknown = set(self.fifos) - set(known_fifos)
+        if unknown:
+            raise DseError(
+                f"unknown FIFO name(s) in depth space: {sorted(unknown)}; "
+                f"design has: {sorted(known_fifos)}"
+            )
+
+    def config_at(self, index: int) -> dict:
+        """The ``index``-th configuration in mixed-radix enumeration
+        order (last axis fastest)."""
+        if not 0 <= index < self.size:
+            raise DseError(f"configuration index {index} out of range")
+        config = {}
+        for axis in reversed(self.axes):
+            index, digit = divmod(index, len(axis.values))
+            config[axis.fifo] = axis.values[digit]
+        return dict(reversed(list(config.items())))
+
+    def configurations(self):
+        """Iterate every configuration as ``{fifo: depth}`` dicts."""
+        for index in range(self.size):
+            yield self.config_at(index)
+
+    def sample(self, count: int, seed: int = 0) -> list:
+        """``count`` distinct random configurations (seeded, ordered by
+        enumeration index so neighbours stay near-neighbours); the whole
+        space when ``count`` covers it."""
+        if count < 1:
+            raise DseError(f"sample count must be >= 1, got {count}")
+        if count >= self.size:
+            return list(self.configurations())
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(self.size), count))
+        return [self.config_at(i) for i in indices]

@@ -86,8 +86,22 @@ class SimulatedCrash(SimulationError):
 class ConstraintViolation(ReproError):
     """Incremental re-simulation found a query whose outcome changed under the
     new FIFO depths, so the recorded simulation graph is invalid (paper
-    section 7.2)."""
+    section 7.2).
 
-    def __init__(self, message: str, query=None):
+    Attributes:
+        query: the recorded :class:`~repro.sim.result.Constraint` that
+            flipped, if known.
+        depths: the full depth configuration that invalidated it — what a
+            fallback orchestrator (``repro.dse``) needs to schedule the
+            full re-simulation.
+    """
+
+    def __init__(self, message: str, query=None, depths=None):
         self.query = query
+        self.depths = dict(depths) if depths is not None else None
         super().__init__(message)
+
+
+class DseError(ReproError):
+    """Invalid depth-space specification or exploration request
+    (``repro.dse``): unknown FIFO names, empty/ill-formed ranges."""

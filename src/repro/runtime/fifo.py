@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import SimulationError
+
 
 @dataclass
 class FifoChannel:
@@ -68,15 +70,21 @@ class FifoChannel:
     # --- timing (commit) view ------------------------------------------
 
     def commit_write(self, index: int, cycle: int) -> None:
-        assert len(self.write_times) == index - 1, (
-            f"fifo {self.name}: out-of-order write commit"
-        )
+        # A real exception, not an assert: the in-order-commit invariant
+        # must hold under ``python -O`` too.
+        if len(self.write_times) != index - 1:
+            raise SimulationError(
+                f"fifo {self.name}: out-of-order write commit "
+                f"(index {index}, {len(self.write_times)} committed)"
+            )
         self.write_times.append(cycle)
 
     def commit_read(self, index: int, cycle: int) -> None:
-        assert len(self.read_times) == index - 1, (
-            f"fifo {self.name}: out-of-order read commit"
-        )
+        if len(self.read_times) != index - 1:
+            raise SimulationError(
+                f"fifo {self.name}: out-of-order read commit "
+                f"(index {index}, {len(self.read_times)} committed)"
+            )
         self.read_times.append(cycle)
 
     def write_time(self, index: int) -> int | None:

@@ -117,8 +117,25 @@ class SimulationGraph:
         self.axi_tables: dict[str, AxiNodeTable] = {}
         #: end-task node per module id
         self.end_nodes: dict[int, int] = {}
+        #: fifo name -> element width in bits (for buffer-cost estimates);
+        #: populated by the engine from the design's stream declarations
+        self.fifo_widths: dict[str, int] = {}
         #: cached depth-independent edges (rebuilt when nodes are added)
         self._static_edges: _StaticEdges | None = None
+
+    # ------------------------------------------------------------------
+    # cross-process reuse
+    #
+    # A captured graph is shipped to design-space-exploration workers via
+    # pickle.  The static-edge cache is pure derived state and by far the
+    # largest attachment, so it is dropped from the pickle: each process
+    # rebuilds (and then keeps) its own cache on first retime, and no
+    # worker ever observes a cache inconsistent with the node arrays.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_static_edges"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -424,3 +441,22 @@ class SimulationGraph:
         if not self.end_nodes:
             return max(times, default=0)
         return max(times[v] for v in self.end_nodes.values())
+
+    def end_times(self, times: list[int] | None = None) -> dict[str, int]:
+        """Per-module end-of-task commit cycle under ``times``."""
+        times = times if times is not None else self.time
+        return {self.module_names[mid]: times[node]
+                for mid, node in self.end_nodes.items()}
+
+    def buffer_bits(self, depths: dict[str, int],
+                    default_width: int = 32) -> int:
+        """Total FIFO storage in bits under ``depths`` (sum depth x width).
+
+        The area half of the cycles-vs-area trade-off that depth-space
+        exploration optimizes; FIFOs absent from :attr:`fifo_widths`
+        (hand-built graphs) are costed at ``default_width``.
+        """
+        return sum(
+            depth * self.fifo_widths.get(name, default_width)
+            for name, depth in depths.items()
+        )

@@ -32,13 +32,23 @@ from .result import SimulationResult
 
 @dataclass
 class IncrementalResult:
-    """Outcome of a successful incremental re-simulation."""
+    """Outcome of a successful incremental re-simulation.
+
+    Carries enough metadata for a sweep orchestrator (``repro.dse``) to
+    aggregate points without re-touching the graph: the full resolved
+    depth configuration, per-module end times, and the FIFO buffer cost
+    of the configuration.
+    """
 
     cycles: int
     seconds: float
     depths: dict
     #: number of constraints re-validated
     constraints_checked: int
+    #: module name -> end-of-task commit cycle under the new depths
+    module_end_times: dict = None
+    #: total FIFO storage (sum of depth x element width), in bits
+    buffer_bits: int = 0
 
 
 def resimulate(result: SimulationResult, new_depths: dict
@@ -76,6 +86,8 @@ def resimulate(result: SimulationResult, new_depths: dict
         seconds=seconds,
         depths=depths,
         constraints_checked=len(result.constraints),
+        module_end_times=graph.end_times(times),
+        buffer_bits=graph.buffer_bits(depths),
     )
 
 
@@ -113,4 +125,5 @@ def _validate_constraints(result: SimulationResult, graph, times: list,
                 f"resolve {outcome} with depths {depths}; full "
                 "re-simulation required",
                 query=constraint,
+                depths=depths,
             )

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..errors import SimulationError
 from .events import COMMITTED, TimedEvent
 
 INFINITY = 1 << 62
@@ -95,14 +96,18 @@ class ModuleLedger:
         return self.effective_start + self.offset_of(event)
 
     def commit(self, event: TimedEvent, cycle: int) -> None:
-        assert self._queue and self._queue[0] is event, (
-            f"{self.module}: commit must target the queue head"
-        )
+        # Real exceptions, not asserts: these are the timing contract's
+        # load-bearing invariants and must hold under ``python -O``.
+        if not (self._queue and self._queue[0] is event):
+            raise SimulationError(
+                f"{self.module}: commit must target the queue head"
+            )
         offset = self.offset_of(event)
-        assert cycle >= self.effective_start + offset, (
-            f"{self.module}: commit at {cycle} before ready "
-            f"{self.effective_start + offset}"
-        )
+        if cycle < self.effective_start + offset:
+            raise SimulationError(
+                f"{self.module}: commit at {cycle} before ready "
+                f"{self.effective_start + offset}"
+            )
         self._queue.popleft()
         self.effective_start = max(self.effective_start, cycle - offset)
         event.state = COMMITTED

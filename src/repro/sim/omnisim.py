@@ -95,6 +95,10 @@ class OmniSimulator:
             table = self.graph.axi_table(port)
             table.read_latency = decl.read_latency
             table.write_latency = decl.write_latency
+        for name, stream in self.compiled.design.streams.items():
+            self.graph.fifo_widths[name] = getattr(
+                stream.element, "width", 32
+            )
         #: fifo name -> run waiting for a value on it (single reader)
         self._read_waiters: dict[str, _ModuleRun] = {}
         by_name = {run.name: run for run in self.runs}
@@ -544,8 +548,14 @@ class OmniSimulator:
                 guard = second if own == lowest else lowest
                 if ready <= guard:
                     self.stats.queries_resolved_false_by_rule += 1
-                    assert self._resolve_query(run, event, ready,
-                                               forced=True)
+                    # Not an assert: forced resolution must actually run
+                    # (an ``assert fn()`` would strip the call, and the
+                    # stuck-resolution loop with it, under ``python -O``).
+                    if not self._resolve_query(run, event, ready,
+                                               forced=True):
+                        raise SimulationError(
+                            "forced query resolution failed to commit"
+                        )
                     self._wake(run)
                     resolved_any = True
             if resolved_any:

@@ -124,6 +124,66 @@ class TestRetimeInvariant:
         assert result.graph.retime(depths) == result.graph.time
 
 
+class TestStaticEdgeCache:
+    """The CSR static-edge cache must die when the graph grows."""
+
+    def test_add_node_invalidates_and_matches_uncached(self):
+        compiled = compile_design(make_pipeline_design())
+        result = OmniSimulator(compiled).run()
+        graph = result.graph
+        depths = {n: ch.depth for n, ch in result.fifo_channels.items()}
+
+        graph.retime(depths)
+        cached = graph._static_edges
+        assert cached is not None
+        assert cached.node_count == graph.node_count
+
+        # Appending a node must invalidate: a stale cache would retime
+        # with the new node missing from every edge class.
+        last = graph.node_count - 1
+        request = _request(graph.nominal[last] + 7,
+                           segment=graph.seg_serial[last],
+                           base=graph.seg_base[last])
+        graph.add_node("late_module", request, graph.time[last] + 7)
+        times = graph.retime(depths)
+        rebuilt = graph._static_edges
+        assert rebuilt is not cached
+        assert rebuilt.node_count == graph.node_count
+        assert len(times) == graph.node_count
+        assert times == graph.retime(depths, use_cache=False)
+
+    def test_unchanged_graph_reuses_cache(self):
+        compiled = compile_design(make_pipeline_design())
+        graph = OmniSimulator(compiled).run().graph
+        graph.retime({"s1": 4, "s2": 4})
+        first = graph._static_edges
+        graph.retime({"s1": 9, "s2": 1})
+        assert graph._static_edges is first
+
+
+class TestGraphHelpers:
+    def test_buffer_bits_uses_recorded_widths(self):
+        compiled = compile_design(make_pipeline_design())
+        graph = OmniSimulator(compiled).run().graph
+        assert graph.fifo_widths == {"s1": 32, "s2": 32}
+        assert graph.buffer_bits({"s1": 4, "s2": 2}) == 4 * 32 + 2 * 32
+
+    def test_buffer_bits_default_width_for_handbuilt_graphs(self):
+        graph = SimulationGraph()
+        assert graph.buffer_bits({"f": 3}) == 3 * 32
+        assert graph.buffer_bits({"f": 3}, default_width=8) == 24
+
+    def test_end_times_follow_retime(self):
+        compiled = compile_design(make_pipeline_design())
+        result = OmniSimulator(compiled).run()
+        graph = result.graph
+        assert graph.end_times() == result.module_end_times
+        times = graph.retime({"s1": 1, "s2": 1})
+        ends = graph.end_times(times)
+        assert set(ends) == set(result.module_end_times)
+        assert max(ends.values()) == graph.total_cycles(times)
+
+
 class TestGraphScaling:
     def test_node_count_tracks_events(self):
         compiled = compile_design(make_pipeline_design())

@@ -34,12 +34,23 @@ class TestFifoChannel:
         fifo.commit_read(1, 7)
         assert fifo.read_time(1) == 7
 
-    def test_out_of_order_commit_asserts(self):
+    def test_out_of_order_write_commit_raises(self):
+        # A SimulationError, not a bare assert: the invariant must
+        # survive ``python -O`` (which strips assert statements).
         fifo = FifoChannel("f", 2)
         fifo.push_value(1)
         fifo.push_value(2)
-        with pytest.raises(AssertionError):
+        with pytest.raises(SimulationError, match="out-of-order write"):
             fifo.commit_write(2, 5)
+
+    def test_out_of_order_read_commit_raises(self):
+        fifo = FifoChannel("f", 2)
+        fifo.push_value(1)
+        fifo.push_value(2)
+        fifo.commit_write(1, 3)
+        fifo.commit_write(2, 4)
+        with pytest.raises(SimulationError, match="out-of-order read"):
+            fifo.commit_read(2, 5)
 
     def test_occupancy_view(self):
         fifo = FifoChannel("f", 1)
@@ -133,18 +144,18 @@ class TestLedger:
         # E_next = 15 + (12 - 10) = 17; offset 0 -> ready 17 (< 20!)
         assert ledger.ready_of(head) == 17
 
-    def test_commit_before_ready_asserts(self):
+    def test_commit_before_ready_raises(self):
         ledger = ModuleLedger("m")
         ledger.add(self._request(5))
         head = ledger.head()
-        with pytest.raises(AssertionError):
+        with pytest.raises(SimulationError, match="before ready"):
             ledger.commit(head, 3)
 
     def test_commit_order_enforced(self):
         ledger = ModuleLedger("m")
         ledger.add(self._request(5))
         later = ledger.add(self._request(8))
-        with pytest.raises(AssertionError):
+        with pytest.raises(SimulationError, match="queue head"):
             ledger.commit(later, 9)
 
     def test_future_commit_bound(self):
@@ -228,6 +239,31 @@ class TestCli:
 
     def test_depth_override(self, capsys):
         assert cli_main(["run", "fig4_ex1", "--depth", "fifo=8"]) == 0
+
+    def test_depth_non_integer_is_clean_exit(self):
+        # Regression: used to escape as a raw ValueError traceback.
+        with pytest.raises(SystemExit, match="integer"):
+            cli_main(["run", "fig4_ex1", "--depth", "fifo=abc"])
+
+    def test_depth_below_one_rejected(self):
+        # Regression: 0/negative depths were silently accepted and blew
+        # up later inside the engine.
+        with pytest.raises(SystemExit, match=">= 1"):
+            cli_main(["run", "fig4_ex1", "--depth", "fifo=0"])
+        with pytest.raises(SystemExit, match=">= 1"):
+            cli_main(["run", "fig4_ex1", "--depth", "fifo=-3"])
+
+    def test_depth_missing_value_rejected(self):
+        with pytest.raises(SystemExit, match="FIFO=N"):
+            cli_main(["run", "fig4_ex1", "--depth", "fifo"])
+
+    def test_run_failure_exit_code_and_cycles(self, capsys):
+        # Regression: csim's simulated SIGSEGV returned exit code 0, and
+        # its legitimate 0-cycle result was hidden by ``if result.cycles``.
+        assert cli_main(["run", "fig4_ex2", "--sim", "csim"]) == 4
+        out = capsys.readouterr().out
+        assert "failure" in out
+        assert "cycles     : 0" in out
 
 
 class TestStaticReportNarrative:
