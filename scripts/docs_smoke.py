@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Docs smoke checks: the README quickstart must actually run, and every
+checked-in example spec must parse and simulate.
+
+Two checks (run one by name, or both by default):
+
+* ``quickstart`` — extract every ``python -m repro ...`` line from the
+  README's fenced ``bash`` blocks and execute it (so the quickstart can
+  never drift from the CLI);
+* ``examples`` — parse, lower, compile and simulate every
+  ``examples/*.yaml`` / ``*.json`` spec through OmniSim.
+
+Usage: ``python scripts/docs_smoke.py [quickstart|examples]``
+(run from the repository root; sets ``PYTHONPATH=src`` for children).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + extra if extra else "")
+    return env
+
+
+def quickstart_commands() -> list:
+    with open(os.path.join(ROOT, "README.md"), encoding="utf-8") as fh:
+        readme = fh.read()
+    commands = []
+    for block in FENCE.findall(readme):
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith("python -m repro"):
+                commands.append(line)
+    return commands
+
+
+def check_quickstart() -> int:
+    commands = quickstart_commands()
+    if not commands:
+        print("FAIL: no `python -m repro` commands found in README.md")
+        return 1
+    failures = 0
+    for command in commands:
+        print(f"$ {command}")
+        proc = subprocess.run(command, shell=True, cwd=ROOT, env=_env(),
+                              capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"FAIL (exit {proc.returncode}):\n{proc.stdout}"
+                  f"{proc.stderr}")
+    print(f"quickstart: {len(commands) - failures}/{len(commands)} "
+          "commands ok")
+    return 1 if failures else 0
+
+
+def check_examples() -> int:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    from repro import compile_design
+    from repro.designs import dsl
+    from repro.sim import OmniSimulator
+
+    examples = os.path.join(ROOT, "examples")
+    specs = [entry for entry in sorted(os.listdir(examples))
+             if entry.lower().endswith((".yaml", ".yml", ".json"))]
+    if not specs:
+        print("FAIL: no example specs found")
+        return 1
+    failures = 0
+    for entry in specs:
+        path = os.path.join(examples, entry)
+        try:
+            spec = dsl.load_spec(path)
+            compiled = compile_design(dsl.build_design(spec))
+            result = OmniSimulator(compiled).run()
+            print(f"ok: {entry} (design {spec.name}, "
+                  f"{result.cycles} cycles)")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures += 1
+            print(f"FAIL: {entry}: {type(exc).__name__}: {exc}")
+    print(f"examples: {len(specs) - failures}/{len(specs)} specs ok")
+    return 1 if failures else 0
+
+
+def main(argv) -> int:
+    which = argv[1] if len(argv) > 1 else "all"
+    if which not in ("all", "quickstart", "examples"):
+        print(__doc__)
+        return 2
+    status = 0
+    if which in ("all", "quickstart"):
+        status |= check_quickstart()
+    if which in ("all", "examples"):
+        status |= check_examples()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,12 +8,20 @@ Commands:
   and print its outputs;
 * ``classify <design>`` — Type A/B/C taxonomy analysis;
 * ``report <design>`` — static C-synthesis report per module;
+* ``gen --type A|B|C [--modules N] [--seed S]`` — emit a procedurally
+  generated design spec (YAML), or a whole corpus with ``--batch``;
 * ``dse <design> --range fifo=LO:HI [--grid fifo=V1,V2] [--samples N]
   [--jobs J] [--json FILE]`` — depth-space exploration: sweep FIFO depth
   configurations through the incremental path (with full-simulation
   fallback) and report the cycles-vs-buffer-area Pareto frontier;
 * ``bench [--smoke] [--out FILE]`` — run the performance benchmark
   matrix and write ``BENCH_perf.json``.
+
+Wherever a ``<design>`` argument is accepted it may be a registry name
+(``repro list``), a benchmark-group alias (``typea_large``), or a path
+to a declarative spec file (``examples/fig4_ex1.yaml``, see
+``repro.designs.dsl``); ``dse`` additionally accepts a directory of
+specs and sweeps each in turn.
 
 Exit codes for ``run``: 0 success, 2 deadlock, 3 unsupported design,
 4 simulated failure (e.g. the C-sim baseline's SIGSEGV).
@@ -23,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import bench as bench_module
@@ -46,12 +55,6 @@ SIMULATORS = {
     "omnisim-threads": ThreadedOmniSimulator,
 }
 
-#: ``dse`` convenience aliases: benchmark-group names resolve to the
-#: group's representative design (mirrors ``bench.BENCH_GROUPS``).
-DSE_ALIASES = {
-    "typea_large": "vector_add_stream",
-    "typebc": "fig4_ex5",
-}
 
 
 def _parse_depths(pairs) -> dict:
@@ -87,12 +90,20 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    spec = designs.get(args.design)
+    spec = designs.resolve(args.design)
     compiled = compile_design(spec.make())
     sim_class = SIMULATORS[args.sim]
     kwargs = {"executor": args.executor}
     if args.sim not in ("csim",):
-        kwargs["depths"] = _parse_depths(args.depth)
+        depths = _parse_depths(args.depth)
+        unknown = sorted(set(depths) - set(compiled.stream_depths()))
+        if unknown:
+            raise SystemExit(
+                f"--depth: unknown FIFO name(s) {', '.join(unknown)}; "
+                f"design {compiled.name} has: "
+                f"{', '.join(sorted(compiled.stream_depths()))}"
+            )
+        kwargs["depths"] = depths
     try:
         result = sim_class(compiled, **kwargs).run()
     except DeadlockError as exc:
@@ -126,7 +137,7 @@ def cmd_bench(args) -> int:
 
 
 def cmd_dse(args) -> int:
-    from .dse import DepthSpace, explore
+    from .dse import DepthSpace, explore, explore_specs
 
     specs = list(args.ranges or []) + list(args.grids or [])
     if not specs:
@@ -134,12 +145,16 @@ def cmd_dse(args) -> int:
             "dse needs at least one --range FIFO=LO:HI[:STEP] or "
             "--grid FIFO=V1,V2,..."
         )
-    name = DSE_ALIASES.get(args.design, args.design)
     space = DepthSpace.parse(specs)
-    sweep = explore(
-        name, space, samples=args.samples, seed=args.seed,
-        jobs=args.jobs, executor=args.executor,
-    )
+    kwargs = dict(samples=args.samples, seed=args.seed, jobs=args.jobs,
+                  executor=args.executor)
+    # Directory-sweep mode only when the argument cannot mean a registry
+    # design — a stray local directory must not shadow a design name.
+    known_name = (args.design in designs.ALIASES
+                  or args.design in designs.names())
+    if os.path.isdir(args.design) and not known_name:
+        return _dse_directory(args, space, explore_specs, kwargs)
+    sweep = explore(args.design, space, **kwargs)
 
     print(f"design     : {sweep.design}")
     print(f"space      : {', '.join(space.fifos)}"
@@ -177,8 +192,75 @@ def cmd_dse(args) -> int:
     return 0
 
 
+def _dse_directory(args, space, explore_specs, kwargs) -> int:
+    """Sweep every spec file in a directory; one summary row per spec."""
+    outcomes = explore_specs(args.design, space, **kwargs)
+    if not outcomes:
+        raise SystemExit(f"no spec files (*.yaml, *.json) in {args.design}")
+    rows = []
+    reports = []
+    for path, outcome in outcomes:
+        name = os.path.basename(path)
+        if isinstance(outcome, Exception):
+            rows.append((name, "-", "-", "-", f"skipped: {outcome}"))
+            continue
+        best = outcome.best()
+        rows.append((
+            name, outcome.evaluated, len(outcome.pareto()),
+            best.cycles if best else "-",
+            f"{100 * outcome.incremental_fraction:.0f}% incremental",
+        ))
+        reports.append((path, outcome))
+    print(render_table(
+        ["spec", "evaluated", "pareto", "best cycles", "notes"], rows,
+        title=f"DSE over {len(outcomes)} specs in {args.design}",
+    ))
+    if args.json_out:
+        doc = {path: sweep.to_json() for path, sweep in reports}
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json_out}")
+    return 0
+
+
+def cmd_gen(args) -> int:
+    from .designs import dsl
+
+    if args.batch is not None and args.batch < 1:
+        raise SystemExit(f"gen --batch must be >= 1, got {args.batch}")
+    if args.batch is not None and args.out_dir is None:
+        raise SystemExit("gen --batch requires --out-dir DIR")
+    if args.batch is None and args.out_dir is not None:
+        raise SystemExit("gen --out-dir requires --batch K "
+                         "(use --out FILE for a single spec)")
+    if args.batch is not None and args.out is not None:
+        raise SystemExit("gen --batch writes into --out-dir; "
+                         "--out only applies to a single spec")
+    if args.batch is None:
+        spec = dsl.generate(args.type, modules=args.modules,
+                            seed=args.seed, count=args.count)
+        text = dsl.spec_to_yaml(spec)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.out} ({spec.name})")
+        else:
+            print(text, end="")
+        return 0
+    os.makedirs(args.out_dir, exist_ok=True)
+    for i in range(args.batch):
+        spec = dsl.generate(args.type, modules=args.modules,
+                            seed=args.seed + i, count=args.count)
+        path = os.path.join(args.out_dir, f"{spec.name}.yaml")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(dsl.spec_to_yaml(spec))
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_classify(args) -> int:
-    spec = designs.get(args.design)
+    spec = designs.resolve(args.design)
     compiled = compile_design(spec.make())
     info = classify(compiled)
     print(f"design          : {spec.name}")
@@ -195,7 +277,7 @@ def cmd_classify(args) -> int:
 
 
 def cmd_report(args) -> int:
-    spec = designs.get(args.design)
+    spec = designs.resolve(args.design)
     compiled = compile_design(spec.make())
     rows = []
     for module in compiled.modules:
@@ -214,19 +296,47 @@ def cmd_report(args) -> int:
     return 0
 
 
+#: design-argument help shared by every command that takes one
+_DESIGN_HELP = ("registry design name (see `repro list`), group alias "
+                "(e.g. typea_large), or path to a DSL spec file "
+                "(*.yaml / *.json)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="omnisim",
         description="OmniSim reproduction: simulate HLS dataflow designs",
+        epilog="Run `omnisim <command> --help` for a worked example of "
+               "each command.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    fmt = argparse.RawDescriptionHelpFormatter
 
-    sub.add_parser("list", help="list registered designs")
+    sub.add_parser(
+        "list", help="list registered designs", formatter_class=fmt,
+        epilog="example:\n"
+               "  omnisim list        # one row per design: name, type "
+               "A/B/C, access mix, graph shape",
+    )
 
-    run_parser = sub.add_parser("run", help="simulate a design")
-    run_parser.add_argument("design")
+    run_parser = sub.add_parser(
+        "run", help="simulate a design", formatter_class=fmt,
+        epilog="examples:\n"
+               "  omnisim run fig4_ex5                      "
+               "# OmniSim, compiled executor\n"
+               "  omnisim run fig4_ex3 --sim cosim          "
+               "# cycle-stepped oracle\n"
+               "  omnisim run examples/fig4_ex1.yaml        "
+               "# declarative spec file\n"
+               "  omnisim run fig4_ex1 --depth fifo=8       "
+               "# override one FIFO depth\n\n"
+               "exit codes: 0 ok, 2 deadlock, 3 unsupported design, "
+               "4 simulated failure",
+    )
+    run_parser.add_argument("design", help=_DESIGN_HELP)
     run_parser.add_argument("--sim", choices=sorted(SIMULATORS),
-                            default="omnisim")
+                            default="omnisim",
+                            help="simulation engine (default: omnisim)")
     run_parser.add_argument("--executor", choices=sorted(EXECUTORS),
                             default=None,
                             help="Func Sim executor (default: compiled)")
@@ -234,20 +344,78 @@ def main(argv=None) -> int:
                             help="override a FIFO depth")
 
     bench_parser = sub.add_parser(
-        "bench", help="run the performance benchmarks"
+        "bench", help="run the performance benchmarks", formatter_class=fmt,
+        epilog="example:\n"
+               "  omnisim bench --smoke --out bench_smoke.json   "
+               "# small CI-sized run",
     )
     bench_parser.add_argument("--smoke", action="store_true",
                               help="small single-design run (for CI)")
     bench_parser.add_argument("--out", default="BENCH_perf.json",
                               help="output JSON path")
 
+    gen_parser = sub.add_parser(
+        "gen", help="generate a design spec (seeded, Type A/B/C)",
+        formatter_class=fmt,
+        epilog="examples:\n"
+               "  omnisim gen --type A --modules 6 --seed 3          "
+               "# YAML spec on stdout\n"
+               "  omnisim gen --type C --out drop.yaml               "
+               "# write one spec file\n"
+               "  omnisim gen --type B --batch 20 --out-dir corpus/  "
+               "# seeds S..S+19\n\n"
+               "the emitted spec is a pure function of (--type, --modules, "
+               "--seed, --count);\nfeed specs back through `omnisim run` / "
+               "`omnisim dse`",
+    )
+    gen_parser.add_argument("--type", required=True,
+                            choices=["A", "B", "C", "a", "b", "c"],
+                            help="taxonomy class of the generated design")
+    gen_parser.add_argument("--modules", type=int, default=4, metavar="N",
+                            help="module count (default 4, minimum 2)")
+    gen_parser.add_argument("--seed", type=int, default=0,
+                            help="generator seed (default 0)")
+    gen_parser.add_argument("--count", type=int, default=64, metavar="N",
+                            help="elements pushed through the pipeline "
+                                 "(default 64)")
+    gen_parser.add_argument("--out", metavar="FILE", default=None,
+                            help="write the spec here instead of stdout")
+    gen_parser.add_argument("--batch", type=int, default=None, metavar="K",
+                            help="emit K specs (seeds SEED..SEED+K-1) "
+                                 "into --out-dir")
+    gen_parser.add_argument("--out-dir", metavar="DIR", default=None,
+                            help="output directory for --batch")
+
     dse_parser = sub.add_parser(
-        "dse", help="depth-space exploration (FIFO depth sweep)"
+        "dse", help="depth-space exploration (FIFO depth sweep)",
+        formatter_class=fmt,
+        description="Sweep FIFO depth configurations and report the "
+                    "cycles-vs-buffer-bits Pareto frontier.\n\n"
+                    "Evaluation is incremental-first: each configuration "
+                    "retimes the captured simulation\ngraph and re-checks "
+                    "the recorded query constraints in microseconds. "
+                    "When a depth\nchange flips a constraint (or makes "
+                    "the graph cyclic), the recorded execution is\n"
+                    "invalid there, so the explorer falls back to one "
+                    "full OmniSim re-simulation and\nre-captures that "
+                    "run's graph as the new reference for its "
+                    "neighbourhood. True\ndeadlocks are recorded as "
+                    "points without a cycle count. The report's\n"
+                    "`incremental:` / `full resim:` lines show how often "
+                    "each path ran.",
+        epilog="examples:\n"
+               "  omnisim dse fig4_ex5 --range fifo1=1:8 --range "
+               "fifo2=1:8\n"
+               "  omnisim dse examples/fig4_ex1.yaml --range fifo=2:16\n"
+               "  omnisim dse corpus/ --range f0=1:8 --samples 4   "
+               "# every spec in the directory\n"
+               "  omnisim dse typea_large --range sc=1:64 --samples 16 "
+               "--jobs 4 --json sweep.json",
     )
     dse_parser.add_argument(
         "design",
-        help="registry design name, or a group alias "
-             f"({', '.join(sorted(DSE_ALIASES))})",
+        help=_DESIGN_HELP + ", or a directory of spec files to sweep "
+             "one by one",
     )
     dse_parser.add_argument("--range", action="append", dest="ranges",
                             metavar="FIFO=LO:HI[:STEP]",
@@ -270,13 +438,22 @@ def main(argv=None) -> int:
                             default=None,
                             help="write the full sweep result as JSON")
 
-    classify_parser = sub.add_parser("classify",
-                                     help="taxonomy analysis (Type A/B/C)")
-    classify_parser.add_argument("design")
+    classify_parser = sub.add_parser(
+        "classify", help="taxonomy analysis (Type A/B/C)",
+        formatter_class=fmt,
+        epilog="example:\n"
+               "  omnisim classify fig4_ex2   # Type B: NB accesses, "
+               "timing-dependent control only",
+    )
+    classify_parser.add_argument("design", help=_DESIGN_HELP)
 
-    report_parser = sub.add_parser("report",
-                                   help="static C-synthesis report")
-    report_parser.add_argument("design")
+    report_parser = sub.add_parser(
+        "report", help="static C-synthesis report", formatter_class=fmt,
+        epilog="example:\n"
+               "  omnisim report fig4_ex5   # per-module FSM states and "
+               "static latency ('?' = dynamic)",
+    )
+    report_parser.add_argument("design", help=_DESIGN_HELP)
 
     args = parser.parse_args(argv)
     handler = {
@@ -284,12 +461,15 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "classify": cmd_classify,
         "report": cmd_report,
+        "gen": cmd_gen,
         "dse": cmd_dse,
         "bench": cmd_bench,
     }[args.command]
     try:
         return handler(args)
     except ReproError as exc:
+        # Includes UnknownDesignError: registry lookups report a hint
+        # listing every valid name and alias.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -2,19 +2,23 @@
 (Type A) designs, reimplemented in the Python HLS dialect."""
 
 from .registry import (
+    ALIASES,
     DesignSpec,
     all_specs,
     get,
     names,
+    resolve,
     table4_specs,
     table5_specs,
 )
 
 __all__ = [
+    "ALIASES",
     "DesignSpec",
     "all_specs",
     "get",
     "names",
+    "resolve",
     "table4_specs",
     "table5_specs",
 ]

@@ -1,0 +1,217 @@
+"""Export a Python-built :class:`hls.Design` to a declarative spec.
+
+The exporter emits **source-form** module stanzas: each kernel's Python
+text (decorators stripped) travels inside the spec, and ``binds:`` maps
+its ports back to the declared design objects.  Re-parsing the export
+and lowering it reconstructs an equivalent design — the round-trip
+property ``tests/test_dsl.py`` verifies by comparing cycle counts and
+outputs across engines.
+
+Also provides :func:`spec_to_yaml` / :func:`spec_to_dict`, the canonical
+renderers used by ``repro gen``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ...errors import SpecError
+from ..registry import DesignSpec
+from .schema import type_to_hls_expr, type_to_str
+
+
+def _port_decl_expr(decl) -> str:
+    """Canonical ``hls.``-namespace spelling of a port declaration."""
+    from ...hls import ports
+
+    element = type_to_hls_expr(decl.element)
+    if isinstance(decl, ports.StreamIn):
+        return f"hls.StreamIn({element})"
+    if isinstance(decl, ports.StreamOut):
+        return f"hls.StreamOut({element})"
+    if isinstance(decl, ports.Buffer):
+        shape = (decl.shape[0] if len(decl.shape) == 1
+                 else repr(tuple(decl.shape)))
+        ctor = "BufferOut" if decl.writable else "BufferIn"
+        return f"hls.{ctor}({element}, {shape})"
+    if isinstance(decl, ports.ScalarOut):
+        return f"hls.ScalarOut({element})"
+    if isinstance(decl, ports.AxiMaster):
+        return f"hls.AxiMaster({element})"
+    if isinstance(decl, ports.In):
+        return f"hls.In({element})"
+    if isinstance(decl, ports.Const):
+        return f"hls.Const({element})"
+    raise SpecError(f"cannot export port declaration {decl!r}")
+
+
+def _canonical_source(kernel) -> str:
+    """Kernel source with decorators stripped and every parameter
+    annotation rewritten to a self-contained ``hls.`` expression.
+
+    Hand-written kernels often annotate ports with module-level globals
+    (``hls.BufferIn(hls.i32, N)``); the exported spec must stand alone,
+    so annotations are regenerated from the kernel's resolved port
+    declarations.  The body round-trips through ``ast.unparse`` (it must
+    already be front-end-compilable; comments are not preserved).
+    """
+    tree = ast.parse(kernel.source)
+    fn = next(node for node in tree.body
+              if isinstance(node, ast.FunctionDef))
+    fn.decorator_list = []
+    fn.returns = None
+    for arg in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs:
+        decl = kernel.ports.get(arg.arg)
+        if decl is not None:
+            expr = _port_decl_expr(decl)
+            arg.annotation = ast.parse(expr, mode="eval").body
+    return ast.unparse(ast.Module(body=[fn], type_ignores=[])) + "\n"
+
+
+def export_design(design, design_type: str = "A",
+                  description: str = "") -> dict:
+    """Serialize an ``hls.Design`` to a plain spec mapping.
+
+    Args:
+        design: a wired :class:`repro.hls.Design` (validated or not).
+        design_type: taxonomy label to record (``A``/``B``/``C``).
+        description: optional one-line description.
+
+    Returns:
+        A dict renderable with :func:`spec_to_yaml` and re-parseable
+        with :func:`repro.designs.dsl.parse_spec`.
+
+    Raises:
+        SpecError: when a kernel's source is unavailable (kernels built
+            from closures without ``source=``) or a type cannot be
+            spelled in the spec grammar.
+    """
+    from ...hls import design as hls_design
+
+    doc: dict = {"design": design.name, "type": design_type}
+    if description:
+        doc["description"] = description
+    if design.streams:
+        doc["fifos"] = [
+            {"name": s.name, "type": type_to_str(s.element),
+             "depth": s.depth}
+            for s in design.streams.values()
+        ]
+    if design.buffers:
+        doc["buffers"] = [
+            _drop_none({"name": b.name, "type": type_to_str(b.element),
+                        "size": b.size, "init": b.init})
+            for b in design.buffers.values()
+        ]
+    if design.scalars:
+        doc["scalars"] = [
+            {"name": s.name, "type": type_to_str(s.element)}
+            for s in design.scalars.values()
+        ]
+    if design.axis:
+        doc["axi"] = [
+            _drop_none({"name": a.name, "type": type_to_str(a.element),
+                        "size": a.size, "init": a.init,
+                        "read_latency": a.read_latency,
+                        "write_latency": a.write_latency})
+            for a in design.axis.values()
+        ]
+
+    doc["modules"] = []
+    for instance in design.instances:
+        binds: dict = {}
+        for port, decl in instance.bindings.items():
+            if isinstance(decl, (hls_design.StreamDecl,
+                                 hls_design.BufferDecl,
+                                 hls_design.ScalarDecl,
+                                 hls_design.AxiDecl)):
+                binds[port] = decl.name
+            else:  # pragma: no cover - bindings only hold declarations
+                binds[port] = decl
+        binds.update(instance.const_bindings)
+        if not instance.kernel.source \
+                or "def " not in instance.kernel.source:
+            raise SpecError(
+                f"cannot export module {instance.name!r}: kernel source "
+                "unavailable"
+            )
+        doc["modules"].append({
+            "name": instance.name,
+            "source": _canonical_source(instance.kernel),
+            "binds": binds,
+        })
+    return doc
+
+
+def export_registry_design(spec: DesignSpec, **params) -> dict:
+    """Build a registry design and export it, carrying over its metadata."""
+    return export_design(
+        spec.make(**params),
+        design_type=spec.design_type,
+        description=spec.description,
+    )
+
+
+def _drop_none(mapping: dict) -> dict:
+    return {k: v for k, v in mapping.items() if v is not None}
+
+
+# ---------------------------------------------------------------------------
+# renderers
+
+
+def spec_to_dict(spec) -> dict:
+    """Render a :class:`DslSpec` back to its plain-mapping form."""
+    doc: dict = {"design": spec.name, "type": spec.design_type}
+    if spec.description:
+        doc["description"] = spec.description
+    if spec.constants:
+        doc["constants"] = dict(spec.constants)
+    if spec.fifos:
+        doc["fifos"] = [{"name": f.name, "type": f.type, "depth": f.depth}
+                        for f in spec.fifos]
+    if spec.buffers:
+        doc["buffers"] = [
+            _drop_none({"name": b.name, "type": b.type, "size": b.size,
+                        "init": b.init})
+            for b in spec.buffers
+        ]
+    if spec.scalars:
+        doc["scalars"] = [{"name": s.name, "type": s.type}
+                          for s in spec.scalars]
+    if spec.axi:
+        doc["axi"] = [
+            _drop_none({"name": a.name, "type": a.type, "size": a.size,
+                        "init": a.init, "read_latency": a.read_latency,
+                        "write_latency": a.write_latency})
+            for a in spec.axi
+        ]
+    doc["modules"] = []
+    for m in spec.modules:
+        if m.source is not None:
+            doc["modules"].append(
+                {"name": m.name, "source": m.source, "binds": dict(m.binds)}
+            )
+        else:
+            stanza = {"name": m.name, "role": m.role}
+            stanza.update(m.params)
+            doc["modules"].append(stanza)
+    return doc
+
+
+def spec_to_yaml(spec_or_doc) -> str:
+    """Render a spec (or an exported mapping) as canonical YAML text.
+
+    Falls back to pretty-printed JSON (also valid spec input) when
+    PyYAML is unavailable, so generated corpora stay loadable either way.
+    """
+    doc = (spec_or_doc if isinstance(spec_or_doc, dict)
+           else spec_to_dict(spec_or_doc))
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - minimal installs
+        import json
+
+        return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+    return yaml.safe_dump(doc, sort_keys=False, default_flow_style=False,
+                          width=79)

@@ -1,0 +1,335 @@
+"""Seeded procedural design generator across the paper's taxonomy.
+
+``generate(design_type, modules, seed)`` emits a validated
+:class:`DslSpec` whose taxonomy class matches the request:
+
+* **Type A** — blocking-only acyclic pipelines: a buffer-fed producer, a
+  chain of affine workers, optionally a splitter/combiner diamond, and a
+  count-terminated sink.  Functionality is timing-independent; every
+  engine (including LightningSim) must agree bit for bit.
+* **Type B** — timing-dependent *control* but timing-independent
+  *values*.  Two sub-shapes, chosen by the seed: a non-blocking
+  retry producer polling a ``done`` FIFO (the paper's Fig. 4 Ex. 2), or
+  a cyclic blocking controller/processor ring (Ex. 3).  Extra modules
+  extend the worker chain.
+* **Type C** — timing-dependent values: a dropping non-blocking producer
+  (with an optional drop counter) feeding a sentinel-terminated chain
+  (Ex. 4a/4b), or a free-running producer with a fixed-budget polling
+  collector (Ex. 4*_d).  Only cycle-accurate engines agree with RTL.
+
+Determinism contract: the emitted spec — and therefore its YAML
+rendering — is a pure function of ``(design_type, modules, seed,
+count)``.  The generator never consults global RNG state, so corpora
+regenerate identically across sessions and platforms (the property
+``tests/test_dsl_generator.py`` locks in).
+
+Seeded randomness varies: FIFO depths and element widths, worker ops
+and IIs, diamond topology, producer/sink rate mismatches (the source of
+Type C backpressure), and payload data patterns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...errors import SpecError
+from .schema import (
+    BufferSpec,
+    DslSpec,
+    FifoSpec,
+    ModuleSpec,
+    ScalarSpec,
+    validate_spec,
+)
+
+#: element types the generator draws FIFO payloads from (sentinel
+#: protocols need signed types wide enough for the data range)
+_PAYLOAD_TYPES = ("i16", "i32", "i32", "i48", "i64")
+
+MIN_MODULES = 2
+
+
+def generate(design_type: str, modules: int = 4, seed: int = 0,
+             count: int = 64) -> DslSpec:
+    """Generate a valid spec of the requested taxonomy class.
+
+    Args:
+        design_type: ``"A"``, ``"B"`` or ``"C"`` (paper section 4).
+        modules: total module count (>= 2; clamped up for shapes that
+            need a minimum, e.g. the Type-A diamond needs 4).
+        seed: RNG seed; equal seeds yield equal specs.
+        count: elements pushed through the pipeline (loop trip count).
+
+    Returns:
+        A validated :class:`DslSpec` (never writes files; render it with
+        :func:`repro.designs.dsl.spec_to_yaml`).
+
+    Raises:
+        SpecError: for an unknown ``design_type`` or ``modules < 2``.
+    """
+    design_type = str(design_type).upper()
+    if design_type not in ("A", "B", "C"):
+        raise SpecError(
+            f"generator: unknown design type {design_type!r} (A, B or C)"
+        )
+    if modules < MIN_MODULES:
+        raise SpecError(
+            f"generator: need at least {MIN_MODULES} modules, got {modules}"
+        )
+    rng = random.Random((design_type, modules, seed, count).__repr__())
+    name = f"gen_{design_type.lower()}_m{modules}_s{seed}"
+    spec = DslSpec(
+        name=name,
+        description=(f"generated Type {design_type} design "
+                     f"(modules={modules}, seed={seed})"),
+        design_type=design_type,
+        constants={"n": count},
+        origin=f"<generator:{name}>",
+    )
+    builder = {"A": _gen_type_a, "B": _gen_type_b, "C": _gen_type_c}
+    builder[design_type](spec, modules, rng)
+    return validate_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# shared pieces
+
+
+def _depth(rng) -> int:
+    return rng.choice((1, 2, 2, 4, 8, 16))
+
+
+def _payload(rng) -> str:
+    return rng.choice(_PAYLOAD_TYPES)
+
+
+def _op(rng, sentinel_safe: bool = False) -> dict:
+    """A random affine worker op.  Sentinel-mode chains reserve negative
+    values for the end-of-stream marker, so their ops must map
+    non-negative inputs to non-negative outputs (mul >= 1, add >= 0) —
+    a negative coefficient once let a data value alias the sentinel and
+    deadlock the drained chain."""
+    return {"kind": "affine", "mul": rng.choice((1, 2, 3, 5)),
+            "add": rng.randint(0, 7) if sentinel_safe
+            else rng.randint(-4, 7)}
+
+
+def _data_buffer(spec, rng, size: int) -> str:
+    spec.buffers.append(BufferSpec(
+        name="data", type="i32", size=size,
+        init={"pattern": "range", "mul": rng.choice((1, 1, 2, 3)),
+              "add": rng.randint(0, 5)},
+    ))
+    return "data"
+
+
+def _worker_chain(spec, rng, first_fifo: str, ty: str, n_workers: int,
+                  mode: str = "count") -> str:
+    """Append ``n_workers`` workers after ``first_fifo``; returns the
+    fifo the last worker writes."""
+    upstream = first_fifo
+    for w in range(n_workers):
+        out = f"f{len(spec.fifos)}"
+        spec.fifos.append(FifoSpec(name=out, type=ty, depth=_depth(rng)))
+        params = {"in": upstream, "out": out,
+                  "op": _op(rng, sentinel_safe=mode == "sentinel"),
+                  "ii": rng.choice((1, 1, 2))}
+        if mode == "count":
+            params["count"] = "n"
+        else:
+            params["mode"] = "sentinel"
+        spec.modules.append(ModuleSpec(
+            name=f"w{w}", role="worker", params=params,
+        ))
+        upstream = out
+    return upstream
+
+
+# ---------------------------------------------------------------------------
+# Type A: blocking acyclic pipeline, optionally a splitter/combiner diamond
+
+
+def _gen_type_a(spec, modules, rng) -> None:
+    count = spec.constants["n"]
+    ty = _payload(rng)
+    diamond = modules >= 5 and rng.random() < 0.5
+    # producer + sink always exist; a diamond consumes 2 extra modules
+    chain_workers = modules - 2 - (2 if diamond else 0)
+
+    spec.fifos.append(FifoSpec(name="f0", type=ty, depth=_depth(rng)))
+    data = _data_buffer(spec, rng, count)
+    spec.modules.append(ModuleSpec(
+        name="src", role="producer",
+        params={"data": data, "out": "f0", "count": "n",
+                "ii": rng.choice((1, 1, 2)), "write": "blocking"},
+    ))
+    upstream = _worker_chain(spec, rng, "f0", ty, max(0, chain_workers))
+
+    if diamond:
+        left = f"f{len(spec.fifos)}"
+        right = f"f{len(spec.fifos) + 1}"
+        spec.fifos.append(FifoSpec(name=left, type=ty, depth=_depth(rng)))
+        spec.fifos.append(FifoSpec(name=right, type=ty, depth=_depth(rng)))
+        spec.modules.append(ModuleSpec(
+            name="split", role="splitter",
+            params={"in": upstream, "out": [left, right], "count": "n"},
+        ))
+        joined = f"f{len(spec.fifos)}"
+        spec.fifos.append(FifoSpec(name=joined, type=ty, depth=_depth(rng)))
+        spec.modules.append(ModuleSpec(
+            name="join", role="combiner",
+            params={"in": [left, right], "out": joined, "count": "n",
+                    "ii": rng.choice((1, 2))},
+        ))
+        upstream = joined
+
+    spec.scalars.append(ScalarSpec(name="total", type="i64"))
+    spec.modules.append(ModuleSpec(
+        name="sink", role="sink",
+        params={"in": upstream, "count": "n", "total": "total",
+                "ii": rng.choice((1, 1, 2))},
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Type B: NB-retry producer with done signal, or cyclic blocking ring
+
+
+def _gen_type_b(spec, modules, rng) -> None:
+    count = spec.constants["n"]
+    ty = _payload(rng)
+    if rng.random() < 0.5:
+        # Ex. 2 shape: nb_retry producer + counting sink that signals done.
+        # The value stream is invariant (retry never skips), so outputs are
+        # timing-independent; the NB control loop makes it Type B.
+        spec.fifos.append(FifoSpec(name="f0", type=ty, depth=_depth(rng)))
+        spec.fifos.append(FifoSpec(name="done", type="u1", depth=2))
+        data = _data_buffer(spec, rng, count)
+        spec.modules.append(ModuleSpec(
+            name="src", role="producer",
+            params={"data": data, "out": "f0", "write": "nb_retry",
+                    "done": "done"},
+        ))
+        last = _worker_chain(spec, rng, "f0", ty, max(0, modules - 2))
+        spec.scalars.append(ScalarSpec(name="total", type="i64"))
+        spec.modules.append(ModuleSpec(
+            name="sink", role="sink",
+            params={"in": last, "count": "n", "total": "total",
+                    "done": "done", "ii": rng.choice((1, 1, 2))},
+        ))
+    else:
+        # Ex. 3 shape: controller -> worker ring over blocking FIFOs.
+        # Module budget: ctl + ring_close + chain workers == modules.
+        spec.fifos.append(FifoSpec(name="f0", type=ty, depth=_depth(rng)))
+        data = _data_buffer(spec, rng, count)
+        ring_workers = max(0, modules - 2)
+        last = _worker_chain(spec, rng, "f0", ty, ring_workers)
+        back = f"f{len(spec.fifos)}"
+        spec.fifos.append(FifoSpec(name=back, type=ty, depth=_depth(rng)))
+        # rewire: the last chain fifo feeds a final worker that closes the
+        # ring back to the controller
+        spec.modules.append(ModuleSpec(
+            name="ring_close", role="worker",
+            params={"in": last, "out": back, "count": "n",
+                    "op": _op(rng)},
+        ))
+        spec.scalars.append(ScalarSpec(name="total", type="i64"))
+        spec.modules.append(ModuleSpec(
+            name="ctl", role="controller",
+            params={"out": "f0", "in": back, "data": data, "count": "n",
+                    "total": "total"},
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Type C: dropped values (sentinel chain) or fixed-budget polling collector
+
+
+def _gen_type_c(spec, modules, rng) -> None:
+    count = spec.constants["n"]
+    ty = "i32"  # sentinel protocols want headroom for the -1 marker
+    if rng.random() < 0.5:
+        # Ex. 4a/4b shape: nb_drop producer, slow sentinel sink — values
+        # genuinely lost to backpressure, counted when modules allow.
+        spec.fifos.append(FifoSpec(name="f0", type=ty,
+                                   depth=rng.choice((1, 2, 2, 4))))
+        data = _data_buffer(spec, rng, count)
+        spec.scalars.append(ScalarSpec(name="dropped", type="i32"))
+        spec.modules.append(ModuleSpec(
+            name="src", role="producer",
+            params={"data": data, "out": "f0", "count": "n",
+                    "write": "nb_drop", "dropped": "dropped",
+                    "ii": rng.choice((1, 2))},
+        ))
+        last = _worker_chain(spec, rng, "f0", ty, max(0, modules - 2),
+                             mode="sentinel")
+        spec.scalars.append(ScalarSpec(name="total", type="i64"))
+        spec.modules.append(ModuleSpec(
+            name="sink", role="sink",
+            params={"in": last, "mode": "sentinel", "total": "total",
+                    # sink slower than the producer: drops must occur
+                    "ii": rng.choice((5, 7, 9))},
+        ))
+    else:
+        # Ex. 4*_d shape: free-running nb_drop producer polled down by a
+        # fixed-budget collector that then raises done.
+        spec.fifos.append(FifoSpec(name="f0", type=ty,
+                                   depth=rng.choice((2, 4, 8))))
+        spec.fifos.append(FifoSpec(name="done", type="u1", depth=2))
+        data = _data_buffer(spec, rng, count)
+        spec.scalars.append(ScalarSpec(name="dropped", type="i32"))
+        spec.modules.append(ModuleSpec(
+            name="src", role="producer",
+            params={"data": data, "out": "f0", "write": "nb_drop",
+                    "done": "done", "dropped": "dropped"},
+        ))
+        # poll-mode chain workers still use count mode upstream of the
+        # collector: they forward at line rate and park on the last read
+        # once the collector stops draining — acceptable for generated
+        # corpora only when the chain is empty, so keep it flat.
+        spec.scalars.append(ScalarSpec(name="total", type="i64"))
+        spec.modules.append(ModuleSpec(
+            name="collect", role="sink",
+            params={"in": "f0", "mode": "poll", "polls": "n",
+                    "total": "total", "done": "done",
+                    "ii": rng.choice((4, 8, 12))},
+        ))
+        # burn remaining module budget as an independent Type-A side
+        # channel so --modules is honoured without perturbing the NB core
+        _side_channel(spec, rng, max(0, modules - 2))
+
+
+def _side_channel(spec, rng, n_modules: int) -> None:
+    """An independent blocking producer->workers->sink lane (used to honour
+    a module budget the NB core shape cannot absorb)."""
+    if n_modules < 2:
+        return
+    ty = _payload(rng)
+    first = f"f{len(spec.fifos)}"
+    spec.fifos.append(FifoSpec(name=first, type=ty, depth=_depth(rng)))
+    spec.modules.append(ModuleSpec(
+        name="side_src", role="producer",
+        params={"out": first, "count": "n", "write": "blocking",
+                "ii": rng.choice((1, 2))},
+    ))
+    last = _worker_chain_named(spec, rng, first, ty, n_modules - 2, "sw")
+    spec.scalars.append(ScalarSpec(name="side_total", type="i64"))
+    spec.modules.append(ModuleSpec(
+        name="side_sink", role="sink",
+        params={"in": last, "count": "n", "total": "side_total"},
+    ))
+
+
+def _worker_chain_named(spec, rng, first_fifo: str, ty: str,
+                        n_workers: int, prefix: str) -> str:
+    upstream = first_fifo
+    for w in range(n_workers):
+        out = f"f{len(spec.fifos)}"
+        spec.fifos.append(FifoSpec(name=out, type=ty, depth=_depth(rng)))
+        spec.modules.append(ModuleSpec(
+            name=f"{prefix}{w}", role="worker",
+            params={"in": upstream, "out": out, "op": _op(rng),
+                    "count": "n", "ii": rng.choice((1, 2))},
+        ))
+        upstream = out
+    return upstream

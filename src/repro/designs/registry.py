@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import UnknownDesignError
+
 
 @dataclass(frozen=True)
 class DesignSpec:
@@ -31,6 +33,8 @@ class DesignSpec:
     expectations: dict = field(default_factory=dict)
 
     def make(self, **overrides):
+        """Build a fresh Design, with ``overrides`` on ``default_params``
+        (e.g. ``spec.make(n=100)`` for a smaller run)."""
         params = dict(self.default_params)
         params.update(overrides)
         return self.build(**params)
@@ -38,8 +42,21 @@ class DesignSpec:
 
 _REGISTRY: dict[str, DesignSpec] = {}
 
+#: benchmark-group aliases accepted wherever a design name is (``repro
+#: run``, ``repro dse``, benchmark configs); each resolves to the group's
+#: representative design (mirrors ``bench.BENCH_GROUPS``).
+ALIASES: dict[str, str] = {
+    "typea_large": "vector_add_stream",
+    "typebc": "fig4_ex5",
+}
+
 
 def register(spec: DesignSpec) -> DesignSpec:
+    """Add ``spec`` to the registry (design modules call this at import).
+
+    Raises:
+        ValueError: if the name is already registered.
+    """
     if spec.name in _REGISTRY:
         raise ValueError(f"duplicate design name {spec.name!r}")
     _REGISTRY[spec.name] = spec
@@ -47,16 +64,42 @@ def register(spec: DesignSpec) -> DesignSpec:
 
 
 def get(name: str) -> DesignSpec:
+    """Look up a design by registry name or group alias.
+
+    Raises:
+        UnknownDesignError: for unknown names; the message lists every
+            registered design *and* the group aliases, so the hint names
+            exactly what ``repro run`` accepts.  (It subclasses
+            ``KeyError``, so dict-style handling keeps working.)
+    """
     _ensure_loaded()
     try:
-        return _REGISTRY[name]
+        return _REGISTRY[ALIASES.get(name, name)]
     except KeyError:
-        raise KeyError(
-            f"unknown design {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        aliases = ", ".join(f"{a} (-> {t})" for a, t in sorted(ALIASES.items()))
+        raise UnknownDesignError(
+            f"unknown design {name!r}; known: {', '.join(sorted(_REGISTRY))}; "
+            f"aliases: {aliases}"
         ) from None
 
 
+def resolve(name_or_path: str) -> DesignSpec:
+    """Resolve a CLI design argument: registry name, alias, or spec file.
+
+    Arguments ending in ``.yaml``/``.yml``/``.json`` (or naming an
+    existing file) load through the declarative DSL
+    (:func:`repro.designs.dsl.load_design_spec`); anything else goes
+    through :func:`get`.
+    """
+    from . import dsl
+
+    if dsl.looks_like_spec_path(name_or_path):
+        return dsl.load_design_spec(name_or_path)
+    return get(name_or_path)
+
+
 def names(design_type: str | None = None) -> list[str]:
+    """Sorted design names, optionally filtered by taxonomy type."""
     _ensure_loaded()
     if design_type is None:
         return sorted(_REGISTRY)
@@ -65,6 +108,7 @@ def names(design_type: str | None = None) -> list[str]:
 
 
 def all_specs() -> list[DesignSpec]:
+    """Every registered design, sorted by name."""
     _ensure_loaded()
     return [_REGISTRY[n] for n in sorted(_REGISTRY)]
 

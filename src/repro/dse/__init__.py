@@ -12,7 +12,13 @@ re-runs.  This package drives that primitive at scale:
   a process pool;
 * :mod:`repro.dse.pareto` — cycles-vs-buffer-area Pareto frontier.
 
-CLI: ``repro dse <design> --range fifo=LO:HI [--jobs J]``.
+Designs come from the registry (name or group alias), from a DSL spec
+file, or — via :func:`explore_specs` — from a whole directory of
+generated specs (``repro gen --batch``), enabling topology x depth
+sweeps over procedurally generated corpora.
+
+CLI: ``repro dse <design|spec.yaml|spec-dir> --range fifo=LO:HI
+[--jobs J]``.
 """
 
 from .explorer import (
@@ -23,6 +29,8 @@ from .explorer import (
     SweepPoint,
     SweepResult,
     explore,
+    explore_specs,
+    iter_spec_files,
 )
 from .pareto import dominates, pareto_front
 from .space import DepthAxis, DepthSpace, parse_axis
@@ -38,6 +46,8 @@ __all__ = [
     "SweepResult",
     "dominates",
     "explore",
+    "explore_specs",
+    "iter_spec_files",
     "pareto_front",
     "parse_axis",
 ]

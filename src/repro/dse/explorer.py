@@ -63,9 +63,11 @@ class SweepPoint:
 
     @property
     def ok(self) -> bool:
+        """True when the configuration completed (did not deadlock)."""
         return self.cycles is not None
 
     def to_json(self) -> dict:
+        """Plain-dict form for ``repro dse --json`` reports."""
         return {
             "depths": dict(self.depths),
             "cycles": self.cycles,
@@ -94,6 +96,7 @@ class SweepResult:
 
     @property
     def evaluated(self) -> int:
+        """Number of configurations actually evaluated."""
         return len(self.points)
 
     def _count(self, source: str) -> int:
@@ -101,23 +104,28 @@ class SweepResult:
 
     @property
     def incremental_count(self) -> int:
+        """Points served by incremental re-simulation (the fast path)."""
         return self._count(SOURCE_INCREMENTAL)
 
     @property
     def full_count(self) -> int:
+        """Points that needed a full re-simulation fallback."""
         return self._count(SOURCE_FULL)
 
     @property
     def deadlock_count(self) -> int:
+        """Points whose configuration truly deadlocks (no cycle count)."""
         return self._count(SOURCE_DEADLOCK)
 
     @property
     def incremental_fraction(self) -> float:
+        """Share of points served incrementally, in [0, 1]."""
         return (self.incremental_count / self.evaluated
                 if self.points else 0.0)
 
     @property
     def configs_per_sec(self) -> float:
+        """Sweep throughput (excludes the initial capture run)."""
         return self.evaluated / self.seconds if self.seconds > 0 else 0.0
 
     def pareto(self) -> list:
@@ -132,6 +140,7 @@ class SweepResult:
         return min(ok, key=lambda p: (p.cycles, p.buffer_bits))
 
     def to_json(self) -> dict:
+        """Plain-dict form (aggregates, all points, Pareto frontier)."""
         return {
             "design": self.design,
             "params": dict(self.params),
@@ -173,6 +182,14 @@ class Evaluator:
 
     def __init__(self, reference, base_depths: dict, compile_fn,
                  executor: str | None = None):
+        """Args:
+            reference: a captured OmniSim run (graph + constraints).
+            base_depths: the design's declared depths; each evaluated
+                config overlays these.
+            compile_fn: zero-arg callable producing the compiled design,
+                invoked lazily on the first full-simulation fallback.
+            executor: Func Sim executor name for fallback runs.
+        """
         #: most recent captured run; replaced on every successful fallback
         self.reference = reference
         self.base_depths = dict(base_depths)
@@ -182,11 +199,14 @@ class Evaluator:
 
     @property
     def compiled(self):
+        """The compiled design, built on first use (fallbacks only)."""
         if self._compiled is None:
             self._compiled = self._compile_fn()
         return self._compiled
 
     def evaluate(self, config: dict) -> SweepPoint:
+        """Evaluate one depth configuration: incremental first, full
+        OmniSim re-simulation (with graph re-capture) on divergence."""
         depths = dict(self.base_depths)
         depths.update(config)
         start = _time.perf_counter()
@@ -240,10 +260,11 @@ class Evaluator:
 #
 # One Evaluator per worker process, built in the pool initializer from a
 # design reference — ("registry", name, params) recompiles from the design
-# registry inside the worker; ("compiled", design) ships an already
-# compiled design through pickle (ad-hoc designs built outside the
-# registry).  Module-level state because ProcessPoolExecutor tasks can
-# only reach module globals.
+# registry inside the worker; ("specfile", path, params) re-parses a DSL
+# spec file (generated designs' kernels are exec-built and don't pickle);
+# ("compiled", design) ships an already compiled design through pickle
+# (ad-hoc designs built outside the registry).  Module-level state because
+# ProcessPoolExecutor tasks can only reach module globals.
 
 _WORKER_EVALUATOR: Evaluator | None = None
 
@@ -257,6 +278,16 @@ def _make_compile_fn(design_ref):
             from .. import compile_design, designs
 
             return compile_design(designs.get(name).make(**params))
+
+        return compile_fn
+    if tag == "specfile":
+        _tag, path, params = design_ref
+
+        def compile_fn():
+            from .. import compile_design
+            from ..designs import dsl
+
+            return compile_design(dsl.load_design_spec(path).make(**params))
 
         return compile_fn
     compiled = design_ref[1]
@@ -295,22 +326,27 @@ def explore(design, space, *, params: dict | None = None,
             executor: str | None = None) -> SweepResult:
     """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
 
-    ``design`` is a registry name or an already-compiled design;
-    ``space`` is a :class:`DepthSpace` or a list of axis specs
-    (``"fifo=1:16"``).  ``samples`` draws a seeded random subset instead
-    of the full grid; ``jobs`` shards configurations across a process
-    pool (ad-hoc compiled designs that cannot be pickled fall back to
-    in-process evaluation; the result's ``jobs`` field reports the
-    parallelism actually used).
+    ``design`` is a registry name (group aliases accepted), a DSL spec
+    file path (``*.yaml``/``*.json``, see :mod:`repro.designs.dsl`), or
+    an already-compiled design; ``space`` is a :class:`DepthSpace` or a
+    list of axis specs (``"fifo=1:16"``).  ``samples`` draws a seeded
+    random subset instead of the full grid; ``jobs`` shards
+    configurations across a process pool (ad-hoc compiled designs that
+    cannot be pickled fall back to in-process evaluation; the result's
+    ``jobs`` field reports the parallelism actually used).
     """
     if not isinstance(space, DepthSpace):
         space = DepthSpace.parse(space)
     params = dict(params or {})
     if isinstance(design, str):
         from .. import compile_design, designs
+        from ..designs import dsl
 
-        compiled = compile_design(designs.get(design).make(**params))
-        design_ref = ("registry", design, params)
+        compiled = compile_design(designs.resolve(design).make(**params))
+        if dsl.looks_like_spec_path(design):
+            design_ref = ("specfile", design, params)
+        else:
+            design_ref = ("registry", design, params)
     else:
         compiled = design
         design_ref = ("compiled", compiled)
@@ -366,3 +402,48 @@ def explore(design, space, *, params: dict | None = None,
         capture_seconds=capture_seconds,
         seconds=seconds,
     )
+
+
+def iter_spec_files(directory) -> list:
+    """Sorted DSL spec files (``*.yaml``/``*.yml``/``*.json``) under
+    ``directory`` (non-recursive)."""
+    import os
+
+    from ..designs.dsl import SPEC_SUFFIXES
+
+    return sorted(
+        os.path.join(directory, entry)
+        for entry in os.listdir(directory)
+        if entry.lower().endswith(SPEC_SUFFIXES)
+    )
+
+
+def explore_specs(spec_paths, space, **explore_kwargs) -> list:
+    """Sweep one depth space over many spec files (generated corpora).
+
+    ``spec_paths`` is a directory (all specs inside are swept) or an
+    iterable of spec file paths; remaining keyword arguments pass
+    through to :func:`explore`.  Specs that cannot be swept — missing
+    the swept FIFO axis, malformed, or deadlocking at their base
+    configuration; mixed corpora contain all three — are skipped rather
+    than aborting the batch.
+
+    Returns:
+        List of ``(path, SweepResult | ReproError)`` pairs in sweep
+        order (errors mark skipped specs).
+    """
+    import os
+
+    from ..errors import ReproError
+
+    if isinstance(spec_paths, (str, bytes)) or hasattr(spec_paths,
+                                                       "__fspath__"):
+        path = os.fspath(spec_paths)
+        spec_paths = iter_spec_files(path) if os.path.isdir(path) else [path]
+    outcomes = []
+    for path in spec_paths:
+        try:
+            outcomes.append((path, explore(path, space, **explore_kwargs)))
+        except ReproError as exc:
+            outcomes.append((path, exc))
+    return outcomes

@@ -102,10 +102,12 @@ class DepthSpace:
 
     @property
     def fifos(self) -> list[str]:
+        """Names of the swept FIFOs, in axis order."""
         return [axis.fifo for axis in self.axes]
 
     @property
     def size(self) -> int:
+        """Total number of configurations in the full grid."""
         n = 1
         for axis in self.axes:
             n *= len(axis.values)

@@ -102,6 +102,28 @@ class ConstraintViolation(ReproError):
         super().__init__(message)
 
 
+class UnknownDesignError(DesignError, KeyError):
+    """A design name was not found in the registry.
+
+    Subclasses :class:`KeyError` so mapping-style callers keep working,
+    and :class:`ReproError` so the CLI reports it cleanly; ``str()``
+    returns the plain message (no KeyError repr-quoting).
+    """
+
+    def __str__(self):
+        return self.args[0] if self.args else ""
+
+
+class SpecError(DesignError):
+    """Invalid declarative design spec (``repro.designs.dsl``).
+
+    Raised while parsing or validating a YAML/JSON design spec; the
+    message always names the offending spec (file or ``<string>``) and
+    the element within it (e.g. ``modules[2] 'sink'``) so errors in
+    generated corpora can be traced back to one stanza.
+    """
+
+
 class DseError(ReproError):
     """Invalid depth-space specification or exploration request
     (``repro.dse``): unknown FIFO names, empty/ill-formed ranges."""

@@ -368,9 +368,21 @@ class CoSimulator:
 
     def _resolve_query_at(self, run, event, clock: int,
                           forced: bool = False) -> bool:
-        """Resolve a query by per-cycle occupancy counting, guarding
-        against retroactive commits from other modules (elastic pipelines
-        can legally commit events with cycle numbers in the past)."""
+        """Resolve a query by per-cycle occupancy counting.
+
+        Elastic pipelines can legally commit events with cycle numbers
+        in the past, so occupancy at ``ready`` is only *final* once no
+        other module can still commit before it — but a **successful**
+        outcome never needs that guard: retroactive commits from other
+        modules only free write space (reads) or add readable data
+        (writes), so a query that succeeds against the partial occupancy
+        view succeeds against the final one too.  Only a *failed*
+        outcome must wait for finality (or be forced by the stuck rule).
+        Guarding the success side as well — the previous implementation
+        — spuriously deadlocked NB producers whose query sits at a long
+        intra-iteration offset, found by differential fuzzing of
+        generated Type C specs against OmniSim.
+        """
         fifo = self.state.fifos[event.request.fifo]
         kind = event.kind
         ready = run.ledger.ready_of(event)
@@ -380,13 +392,14 @@ class CoSimulator:
             ready = max(ready, fifo.read_port_time + 1)
         if ready > clock and not forced:
             return False
-        if not forced and not self._occupancy_final_before(run, ready):
-            return False
 
         if kind in ("fifo_nb_write", "fifo_can_write"):
             success = fifo.can_write_at(ready)
         else:
             success = fifo.can_read_at(ready)
+        if not success and not forced \
+                and not self._occupancy_final_before(run, ready):
+            return False
 
         event.outcome = success
         self._commit(run, event, ready)

@@ -60,13 +60,28 @@ class _ModuleRun:
 
 
 class OmniSimulator:
-    """Coupled Func Sim + Perf Sim engine (the paper's OmniSim core)."""
+    """Coupled Func Sim + Perf Sim engine (the paper's OmniSim core).
+
+    ``OmniSimulator(compiled).run()`` returns a
+    :class:`~repro.sim.result.SimulationResult` carrying RTL-accurate
+    cycles, functional outputs, and the recorded simulation graph +
+    query constraints that power incremental re-simulation.
+    """
 
     name = "omnisim"
 
     def __init__(self, compiled, depths: dict | None = None,
                  step_limit: int | None = None,
                  executor: str | None = None):
+        """Args:
+            compiled: a :class:`~repro.compile.CompiledDesign`.
+            depths: per-FIFO depth overrides on the design's declared
+                depths (``{"fifo": 8}``), the knob DSE sweeps.
+            step_limit: abort a module's Func Sim after this many
+                interpreter steps (guards runaway infinite loops).
+            executor: Func Sim executor name (``"compiled"`` default or
+                ``"interp"``; see :data:`repro.sim.EXECUTORS`).
+        """
         self.compiled = compiled
         self.depths = dict(depths or {})
         self.step_limit = step_limit
@@ -115,7 +130,14 @@ class OmniSimulator:
     # public API
 
     def run(self) -> SimulationResult:
-        """Execute the simulation; raises DeadlockError on true deadlock."""
+        """Execute the simulation to completion.
+
+        Raises:
+            DeadlockError: every module is blocked and no pending query
+                may be forced false (a true design-level deadlock).
+            SimulationError: internal invariant violations or a module
+                exceeding ``step_limit``.
+        """
         start = _time.perf_counter()
         self._build()
         try:
