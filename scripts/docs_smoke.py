@@ -1,16 +1,20 @@
 #!/usr/bin/env python
-"""Docs smoke checks: the README quickstart must actually run, and every
-checked-in example spec must parse and simulate.
+"""Docs smoke checks: the README quickstarts must actually run, and
+every checked-in example spec must parse and simulate.
 
-Two checks (run one by name, or both by default):
+Three checks (run one by name, or all by default):
 
 * ``quickstart`` — extract every ``python -m repro ...`` line from the
-  README's fenced ``bash`` blocks and execute it (so the quickstart can
-  never drift from the CLI);
+  README's fenced ``bash`` blocks and execute it (so the CLI quickstart
+  can never drift from the CLI);
+* ``api`` — extract the README's fenced ``python`` blocks (the
+  ``repro.api`` quickstart) and execute them (so the programmatic
+  quickstart can never drift from the API);
 * ``examples`` — parse, lower, compile and simulate every
-  ``examples/*.yaml`` / ``*.json`` spec through OmniSim.
+  ``examples/*.yaml`` / ``*.json`` spec through a ``repro.api``
+  session.
 
-Usage: ``python scripts/docs_smoke.py [quickstart|examples]``
+Usage: ``python scripts/docs_smoke.py [quickstart|api|examples]``
 (run from the repository root; sets ``PYTHONPATH=src`` for children).
 """
 
@@ -23,6 +27,7 @@ import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FENCE = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
 def _env():
@@ -64,11 +69,35 @@ def check_quickstart() -> int:
     return 1 if failures else 0
 
 
+def check_api() -> int:
+    """Execute the README's fenced ``python`` blocks in one namespace
+    (in order, so later blocks may build on earlier ones)."""
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    with open(os.path.join(ROOT, "README.md"), encoding="utf-8") as fh:
+        readme = fh.read()
+    blocks = PYTHON_FENCE.findall(readme)
+    if not blocks:
+        print("FAIL: no fenced python blocks found in README.md")
+        return 1
+    namespace: dict = {"__name__": "readme_quickstart"}
+    failures = 0
+    for i, block in enumerate(blocks, 1):
+        try:
+            exec(compile(block, f"README.md[python #{i}]", "exec"),
+                 namespace)
+            print(f"ok: python block #{i} ({len(block.splitlines())} "
+                  "lines)")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures += 1
+            print(f"FAIL: python block #{i}: "
+                  f"{type(exc).__name__}: {exc}")
+    print(f"api: {len(blocks) - failures}/{len(blocks)} python blocks ok")
+    return 1 if failures else 0
+
+
 def check_examples() -> int:
     sys.path.insert(0, os.path.join(ROOT, "src"))
-    from repro import compile_design
-    from repro.designs import dsl
-    from repro.sim import OmniSimulator
+    from repro.api import Session
 
     examples = os.path.join(ROOT, "examples")
     specs = [entry for entry in sorted(os.listdir(examples))
@@ -80,10 +109,9 @@ def check_examples() -> int:
     for entry in specs:
         path = os.path.join(examples, entry)
         try:
-            spec = dsl.load_spec(path)
-            compiled = compile_design(dsl.build_design(spec))
-            result = OmniSimulator(compiled).run()
-            print(f"ok: {entry} (design {spec.name}, "
+            session = Session.open(path)
+            result = session.run()
+            print(f"ok: {entry} (design {session.name}, "
                   f"{result.cycles} cycles)")
         except Exception as exc:  # noqa: BLE001 - report, don't crash
             failures += 1
@@ -94,12 +122,14 @@ def check_examples() -> int:
 
 def main(argv) -> int:
     which = argv[1] if len(argv) > 1 else "all"
-    if which not in ("all", "quickstart", "examples"):
+    if which not in ("all", "quickstart", "api", "examples"):
         print(__doc__)
         return 2
     status = 0
     if which in ("all", "quickstart"):
         status |= check_quickstart()
+    if which in ("all", "api"):
+        status |= check_api()
     if which in ("all", "examples"):
         status |= check_examples()
     return status

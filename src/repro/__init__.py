@@ -2,29 +2,35 @@
 
 Public API tour::
 
-    from repro import hls, compile_design
-    from repro.sim import OmniSimulator, CoSimulator, CSimulator
+    from repro import hls
+    from repro.api import Session
 
     @hls.kernel
     def producer(...): ...
 
     design = hls.Design("example")
     ...
-    compiled = compile_design(design)
-    result = OmniSimulator(compiled).run()
+    session = Session.open(design)       # names/spec paths work too
+    result = session.run()               # OmniSim, RTL-accurate cycles
     print(result.cycles, result.scalars)
 
-See README.md for the full walkthrough and DESIGN.md for the system map.
+:mod:`repro.api` is the stable programmatic surface (sessions, the
+engine registry, batched ``run_many``); the lower layers (``hls``,
+``compile_design``, ``repro.sim``) stay importable for tools that manage
+compiled designs themselves.  See README.md for the full walkthrough and
+DESIGN.md for the system map.
 """
 
 from . import errors, hls
 from .compile import CompiledDesign, CompiledModule, compile_design
+from . import api  # noqa: E402  (needs compile_design defined above)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledDesign",
     "CompiledModule",
+    "api",
     "compile_design",
     "errors",
     "hls",

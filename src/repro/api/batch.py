@@ -1,0 +1,303 @@
+"""Batched multi-run execution: ship the artifact once, run everywhere.
+
+``Session.run_many`` evaluates a list of run configurations against one
+design.  Two mechanisms make a batch cheaper than a sequential
+``session.run()`` loop:
+
+* **Incremental serving.**  OmniSim configurations that differ only in
+  FIFO depths are served by retiming the session's captured baseline and
+  re-checking its recorded query constraints
+  (:func:`repro.sim.incremental.resimulate`) — microseconds instead of a
+  full Func+Perf re-simulation, with automatic fallback to a real run
+  (and reference re-capture, exactly like ``repro.dse``) when a
+  constraint flips.  A config that passes constraint validation provably
+  leaves the recorded execution — and hence every functional output —
+  unchanged, so the baseline's scalars/buffers are the config's too.
+  This is the LightningSimV2/GSIM argument (the compiled model, not the
+  run, is the unit of reuse) applied to batch execution; it is why
+  ``run_many`` beats a ``.run()`` loop even on one core.
+* **Process-pool sharding.**  With ``jobs > 1`` the batch is split into
+  contiguous chunks over worker processes.  Each worker receives the
+  session's small picklable *design reference* and the captured baseline
+  once through the pool initializer; the design is compiled in a worker
+  only if one of its configurations actually needs a full run.
+
+Failure semantics: a configuration that deadlocks or is unsupported by
+its engine produces a :class:`~repro.sim.result.SimulationResult` with
+``.failure`` set (and ``cycles`` at the deadlock point) instead of
+aborting the whole batch — batch callers are sweeps and services, not
+interactive debugging.
+
+Results come back **in config order**.  Each result's
+``phase_seconds["serving"]`` records which path produced it
+(``"incremental"`` or ``"full"``).  By default the recorded simulation
+graph / constraints / FIFO channel tables are stripped from returned
+results (``keep_graphs=False``): they dominate pickle size (~250 KB per
+typea run) and batch callers want numbers, not replay state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+
+from ..errors import (
+    ConstraintViolation,
+    DeadlockError,
+    SimulationError,
+    UnsupportedDesignError,
+)
+from ..sim.incremental import resimulate
+from ..sim.registry import get_engine, run_engine, validate_depths
+from ..sim.result import SimulationResult
+from .design_ref import compile_from_ref
+
+#: config keys consumed by the batch layer itself; everything else in a
+#: config dict forwards to the engine constructor
+_CONFIG_KEYS = ("engine", "executor", "depths")
+
+
+def normalize_config(config: dict, compiled) -> dict:
+    """Validate one run configuration eagerly (before any pool spawns).
+
+    Returns a normalized ``{"engine", "executor", "depths", "kwargs"}``
+    dict.  Unknown engines raise
+    :class:`~repro.errors.UnknownEngineError`; depth overrides are
+    validated against the design exactly as ``Session.run`` would.
+    """
+    if not isinstance(config, dict):
+        raise TypeError(
+            f"run_many configs must be dicts, got {type(config).__name__}"
+        )
+    engine = config.get("engine", "omnisim")
+    get_engine(engine)  # raises UnknownEngineError with the known list
+    depths = validate_depths(compiled, config.get("depths"))
+    kwargs = {k: v for k, v in config.items() if k not in _CONFIG_KEYS}
+    return {
+        "engine": engine,
+        "executor": config.get("executor"),
+        "depths": depths,
+        "kwargs": kwargs,
+    }
+
+
+def _strip_replay_state(result: SimulationResult) -> SimulationResult:
+    """Drop the heavy incremental-replay attachments from a result."""
+    result.graph = None
+    result.constraints = []
+    result.fifo_channels = {}
+    return result
+
+
+class _BatchRunner:
+    """Serves one shard of a batch against a mutable reference run.
+
+    Mirrors the ``repro.dse`` Evaluator: incremental-first against the
+    captured reference, full re-simulation (with reference re-capture)
+    on constraint divergence.
+    """
+
+    def __init__(self, compile_fn, base_depths: dict, baseline=None):
+        self._compile_fn = compile_fn
+        self._compiled = None
+        self.base_depths = dict(base_depths)
+        #: most recent *full* captured run (functional outputs + graph),
+        #: replaced on every fallback re-capture; None disables
+        #: incremental serving.  Served results inherit this run's
+        #: functional outputs: constraint validation proves the recorded
+        #: execution — hence every value — is exactly what a fresh run
+        #: at the served depths would produce (paper section 7.2).
+        self.reference = baseline
+
+    @property
+    def compiled(self):
+        """The compiled design, built on first use (full runs only)."""
+        if self._compiled is None:
+            self._compiled = self._compile_fn()
+        return self._compiled
+
+    def _serve_incremental(self, config: dict,
+                           keep_graphs: bool) -> SimulationResult | None:
+        """Try to serve ``config`` from the captured reference; None
+        means a full run is required."""
+        if self.reference is None:
+            return None
+        if config["engine"] != "omnisim" or config["kwargs"]:
+            # Executor choice doesn't gate eligibility: incremental
+            # replay re-runs no Func Sim code at all.
+            return None
+        # Always overlay the *design's* declared depths, not the
+        # reference's: after a re-capture the reference was recorded at
+        # some other config's depths, and resimulate() fills unmentioned
+        # FIFOs from its reference.  The full map keeps configs
+        # independent of shard evaluation order.
+        depths = dict(self.base_depths)
+        depths.update(config["depths"])
+        start = _time.perf_counter()
+        try:
+            inc = resimulate(self.reference, depths)
+        except (ConstraintViolation, SimulationError):
+            # Flipped constraint, or the graph went cyclic under these
+            # depths; a real run decides what actually happens there.
+            return None
+        base = self.reference
+        return SimulationResult(
+            design_name=base.design_name,
+            simulator="omnisim",
+            cycles=inc.cycles,
+            scalars=dict(base.scalars),
+            buffers={k: list(v) for k, v in base.buffers.items()},
+            axi_memories={k: list(v) for k, v in base.axi_memories.items()},
+            module_end_times=dict(inc.module_end_times),
+            fifo_leftovers=dict(base.fifo_leftovers),
+            stats=dataclasses.replace(base.stats),
+            execute_seconds=_time.perf_counter() - start,
+            frontend_seconds=0.0,
+            warnings=list(base.warnings),
+            phase_seconds={"serving": "incremental",
+                           "replay_seconds": inc.seconds},
+            # Attaching replay state costs a constraints-list copy per
+            # served config; skip it when the caller strips it anyway.
+            graph=base.graph if keep_graphs else None,
+            constraints=list(base.constraints) if keep_graphs else [],
+            fifo_channels=(dict(base.fifo_channels) if keep_graphs
+                           else {}),
+        )
+
+    def run_config(self, config: dict,
+                   keep_graphs: bool) -> SimulationResult:
+        """Run one normalized config; fold simulation-level failures
+        into the result instead of raising."""
+        result = self._serve_incremental(config, keep_graphs)
+        if result is None:
+            try:
+                result = run_engine(config["engine"], self.compiled,
+                                    depths=config["depths"] or None,
+                                    executor=config["executor"],
+                                    **config["kwargs"])
+                result.phase_seconds["serving"] = "full"
+                if (self.reference is not None
+                        and config["engine"] == "omnisim"
+                        and result.graph is not None):
+                    # Re-capture: this run's graph serves its
+                    # neighbourhood in the rest of the shard.
+                    self.reference = result
+            except DeadlockError as exc:
+                result = SimulationResult(
+                    design_name=self.compiled.name,
+                    simulator=config["engine"],
+                    cycles=exc.cycle,
+                    failure=str(exc),
+                    phase_seconds={"serving": "full"},
+                )
+            except UnsupportedDesignError as exc:
+                result = SimulationResult(
+                    design_name=self.compiled.name,
+                    simulator=config["engine"],
+                    cycles=0,
+                    failure=str(exc),
+                    phase_seconds={"serving": "full"},
+                )
+        if not keep_graphs:
+            if result is self.reference:
+                # The shard still replays against this run: strip a
+                # copy, keep the reference intact.
+                result = dataclasses.replace(result)
+            _strip_replay_state(result)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# process-pool plumbing.  Module-level state because ProcessPoolExecutor
+# tasks can only reach module globals; one runner per worker, built from
+# the design reference + baseline shipped via the initializer.
+
+_WORKER_RUNNER: _BatchRunner | None = None
+
+
+def _init_worker(design_ref, base_depths, baseline) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _BatchRunner(
+        lambda: compile_from_ref(design_ref), base_depths, baseline
+    )
+
+
+def _run_chunk(payload) -> list:
+    configs, keep_graphs = payload
+    return [_WORKER_RUNNER.run_config(config, keep_graphs)
+            for config in configs]
+
+
+def chunk_contiguous(items: list, pieces: int) -> list:
+    """Split into at most ``pieces`` contiguous runs of near-equal size
+    (contiguity preserves config-list locality within one worker)."""
+    pieces = max(1, min(pieces, len(items)))
+    size, rem = divmod(len(items), pieces)
+    chunks, cursor = [], 0
+    for i in range(pieces):
+        step = size + (1 if i < rem else 0)
+        chunks.append(items[cursor:cursor + step])
+        cursor += step
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+
+
+def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
+             keep_graphs: bool = False) -> list:
+    """Evaluate ``configs`` against ``session``'s design (see
+    :meth:`repro.api.Session.run_many` for the config schema).
+
+    ``incremental=False`` forces a full simulation per configuration
+    (differential testing of the serving path itself).  Every config is
+    validated up front, so a typo in config 37 of 200 fails before any
+    work starts.  Ad-hoc designs that cannot cross the process boundary
+    (unpicklable ``@hls.kernel`` closures under spawn-style start
+    methods) degrade to in-process evaluation rather than crashing
+    platform-dependently.
+    """
+    compiled = session.compiled
+    normalized = [normalize_config(config, compiled) for config in configs]
+    if not normalized:
+        return []
+    # Capture (or reuse) the baseline only when some config can actually
+    # be served from it.  A design that deadlocks at its declared depths
+    # has no baseline to replay; serve every config with a full run and
+    # let the per-config failure folding report the deadlocks.
+    needs_baseline = incremental and any(
+        c["engine"] == "omnisim" and not c["kwargs"] for c in normalized
+    )
+    baseline = None
+    if needs_baseline:
+        try:
+            baseline = session.baseline()
+        except DeadlockError:
+            baseline = None
+    base_depths = compiled.stream_depths()
+
+    jobs = max(1, min(jobs, len(normalized)))
+    if jobs > 1 and session.design_ref[0] == "compiled":
+        try:
+            pickle.dumps(compiled)
+        except Exception:
+            jobs = 1
+    if jobs == 1:
+        runner = _BatchRunner(lambda: compiled, base_depths, baseline)
+        return [runner.run_config(config, keep_graphs)
+                for config in normalized]
+    # 4 chunks per worker: balance against stragglers (engines differ
+    # wildly in cost — a cosim run is orders slower than an incremental
+    # replay) while keeping shards contiguous for re-capture locality.
+    chunks = chunk_contiguous(normalized, jobs * 4)
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(session.design_ref, base_depths, baseline),
+    ) as pool:
+        payloads = [(chunk, keep_graphs) for chunk in chunks]
+        return [result
+                for chunk_results in pool.map(_run_chunk, payloads)
+                for result in chunk_results]

@@ -1,0 +1,217 @@
+"""The Session facade: one compiled artifact, many cheap runs.
+
+A :class:`Session` owns the cached :class:`~repro.compile.CompiledDesign`
+and the captured baseline simulation (graph + query constraints) for one
+design, and exposes every operation the CLI, the benchmark harness and
+the depth-space explorer previously wired up by hand:
+
+    from repro.api import Session
+
+    with Session.open("fig4_ex5") as session:
+        result = session.run()                      # OmniSim, RTL cycles
+        oracle = session.run(engine="cosim")        # cycle-stepped check
+        fast = session.resimulate({"fifo2": 8})     # incremental, µs
+        batch = session.run_many(
+            [{"depths": {"fifo2": d}} for d in (2, 4, 8, 16)], jobs=2)
+
+Lifecycle and caching rules (DESIGN.md section 13):
+
+* the design is resolved **eagerly** at ``open`` (unknown names fail
+  fast), compiled **lazily** on first use, and the compiled artifact is
+  cached for the life of the session;
+* ``baseline()`` caches one captured OmniSim run per Func Sim executor —
+  the reference that ``graph``/``resimulate`` replay against;
+* a session assumes its design is immutable; re-open (or
+  ``baseline(refresh=True)``) after mutating a design object in place.
+"""
+
+from __future__ import annotations
+
+from ..sim.context import resolve_executor
+from ..sim.registry import run_engine, validate_depths
+from .design_ref import resolve_design
+
+
+class Session:
+    """Programmatic facade over one design's compile/simulate lifecycle."""
+
+    def __init__(self, design, *, executor: str | None = None, **params):
+        """See :meth:`open` (the constructor and ``open`` are
+        equivalent; ``open`` reads better at call sites)."""
+        self.design_ref, self._compile_fn, self.spec = resolve_design(
+            design, params
+        )
+        #: builder parameter overrides the design was opened with
+        self.params = dict(params)
+        #: default Func Sim executor for every run (None -> "compiled")
+        self.executor = executor
+        self._compiled = None
+        #: executor name -> captured baseline OmniSim run
+        self._baselines: dict = {}
+
+    @classmethod
+    def open(cls, design, *, executor: str | None = None,
+             **params) -> "Session":
+        """Open a session on a design.
+
+        Args:
+            design: registry name or group alias (``"fig4_ex5"``,
+                ``"typea_large"``), DSL spec path (``"corpus/a.yaml"``),
+                :class:`~repro.designs.registry.DesignSpec`,
+                :class:`~repro.hls.Design`, or an already-compiled
+                :class:`~repro.compile.CompiledDesign`.
+            executor: default Func Sim executor for this session's runs
+                (``"compiled"``/``"interp"``; per-call ``executor=``
+                overrides it).
+            **params: builder parameter overrides, e.g. ``n=256``.
+        """
+        return cls(design, executor=executor, **params)
+
+    # -- cached artifacts ----------------------------------------------
+
+    @property
+    def compiled(self):
+        """The compiled design (front-end + scheduling), built once."""
+        if self._compiled is None:
+            self._compiled = self._compile_fn()
+        return self._compiled
+
+    @property
+    def name(self) -> str:
+        """The design's name (without forcing compilation when a spec
+        is known)."""
+        if self.spec is not None:
+            return self.spec.name
+        return self.compiled.name
+
+    def baseline(self, *, executor: str | None = None,
+                 refresh: bool = False):
+        """The captured OmniSim reference run (graph + constraints).
+
+        Cached per Func Sim executor; ``refresh=True`` re-captures (the
+        invalidation knob for mutated designs or fresh timing numbers).
+        """
+        key = resolve_executor(executor if executor is not None
+                               else self.executor)
+        if refresh or key not in self._baselines:
+            self._baselines[key] = run_engine(
+                "omnisim", self.compiled, executor=key
+            )
+        return self._baselines[key]
+
+    @property
+    def graph(self):
+        """The captured :class:`~repro.sim.graph.SimulationGraph`."""
+        return self.baseline().graph
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, engine: str = "omnisim", *, executor: str | None = None,
+            depths: dict | None = None, **kwargs):
+        """Simulate once and return the
+        :class:`~repro.sim.result.SimulationResult`.
+
+        ``engine`` is a registry name (``repro.sim.engine_names()``);
+        ``depths`` are per-FIFO overrides, validated here — unknown FIFO
+        names raise :class:`~repro.errors.UnknownFifoError`, and depths
+        passed to an engine with ``supports_depths=False`` (csim) are
+        dropped with an explicit warning.  Extra ``kwargs`` forward to
+        the engine constructor (``step_limit=`` etc.).
+        """
+        if executor is None:
+            executor = self.executor
+        return run_engine(engine, self.compiled, depths=depths,
+                          executor=executor, **kwargs)
+
+    def resimulate(self, depths: dict, *, executor: str | None = None):
+        """Incrementally re-simulate the cached baseline under new
+        depths (microseconds; no Func Sim re-execution).
+
+        Returns an :class:`~repro.sim.incremental.IncrementalResult`;
+        raises :class:`~repro.errors.ConstraintViolation` when a
+        recorded query flips under the new depths (fall back to
+        ``run(depths=...)`` — or use :meth:`sweep`, which automates
+        exactly that).
+        """
+        from ..sim.incremental import resimulate
+
+        depths = validate_depths(self.compiled, depths)
+        return resimulate(self.baseline(executor=executor), depths)
+
+    def run_many(self, configs, *, jobs: int = 1, incremental: bool = True,
+                 keep_graphs: bool = False) -> list:
+        """Run a batch of configurations, optionally over a process pool.
+
+        Each config is a dict with optional keys ``engine`` (default
+        ``"omnisim"``), ``executor``, ``depths``, plus any engine
+        constructor kwargs.  OmniSim configs that differ only in depths
+        are served by constraint-checked incremental replay of the
+        cached baseline (full-run fallback; ``incremental=False`` forces
+        full simulations).  With ``jobs > 1`` the batch is sharded over
+        worker processes that receive the design reference and baseline
+        once and compile locally — the compiled artifact is the unit of
+        reuse, not the individual run.  Results come back in config
+        order; simulation-level failures (deadlock, unsupported design)
+        are returned as results with ``.failure`` set instead of
+        aborting the batch.  See :func:`repro.api.batch.run_many`.
+        """
+        from .batch import run_many
+
+        return run_many(self, configs, jobs=jobs, incremental=incremental,
+                        keep_graphs=keep_graphs)
+
+    def sweep(self, space, *, samples: int | None = None, seed: int = 0,
+              jobs: int = 1, executor: str | None = None):
+        """Depth-space exploration over this session's design.
+
+        ``space`` is a :class:`~repro.dse.DepthSpace` or a list of axis
+        specs (``["fifo=1:16"]``).  Delegates to
+        :func:`repro.dse.explore`, reusing this session's compiled
+        design and cached baseline; returns a
+        :class:`~repro.dse.SweepResult`.
+        """
+        from ..dse import explore
+
+        return explore(self, space, samples=samples, seed=seed, jobs=jobs,
+                       executor=(executor if executor is not None
+                                 else self.executor))
+
+    # -- analysis -------------------------------------------------------
+
+    def classify(self):
+        """Type A/B/C taxonomy analysis of the compiled design."""
+        from ..analysis import classify
+
+        return classify(self.compiled)
+
+    def report(self) -> list:
+        """Static C-synthesis report: one dict per module (name, block
+        count, FSM states, static latency or ``"?"`` when dynamic)."""
+        return [
+            {
+                "module": module.name,
+                "blocks": len(module.function.blocks),
+                "fsm_states": module.schedule.total_static_states,
+                "static_latency": str(module.static_latency),
+            }
+            for module in self.compiled.modules
+        ]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop cached artifacts (the session stays usable; artifacts
+        rebuild on next use)."""
+        self._compiled = None
+        self._baselines.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "compiled" if self._compiled is not None else "lazy"
+        return (f"Session({self.name!r}, params={self.params}, "
+                f"{state}, baselines={sorted(self._baselines)})")

@@ -14,7 +14,10 @@ repository's performance trajectory file.  Three headline metrics:
   compared against a from-scratch rebuild per configuration;
 * **DSE configs/sec** — end-to-end depth-space exploration throughput
   through ``repro.dse.explore`` (incremental-first with fallback),
-  including the incremental-vs-full split and Pareto frontier size.
+  including the incremental-vs-full split and Pareto frontier size;
+* **batched runs/sec** — ``Session.run_many`` throughput, sequential vs
+  sharded over a process pool (the compiled artifact ships to each
+  worker once; the "api" section records the jobs>1 speedup).
 
 ``--smoke`` runs a single small design of each kind so CI can guard
 against perf-path regressions without paying the full suite.
@@ -27,9 +30,9 @@ import platform
 import time
 from datetime import datetime, timezone
 
-from . import compile_design, designs
+from .api import Session
 from .errors import ConstraintViolation
-from .sim import OmniSimulator, resimulate
+from .sim import resimulate
 
 #: registry designs benchmarked per group (group -> [(name, params)])
 BENCH_GROUPS = {
@@ -81,14 +84,24 @@ SMOKE_DSE_SWEEPS = [
     ("vector_add_stream", {"n": 256}, ["sc=1:8"]),
 ]
 
+#: (design, params, batch size, pool jobs) for the batched-run benchmark
+#: — the Session.run_many scale story (1 process vs a sharded pool).
+API_BATCHES = [
+    ("typea_large", {}, 16, 2),
+]
 
-def _timed_run(compiled, executor: str, repeats: int) -> dict:
+SMOKE_API_BATCHES = [
+    ("vector_add_stream", {"n": 256}, 6, 2),
+]
+
+
+def _timed_run(session: Session, executor: str, repeats: int) -> dict:
     """Best-of-``repeats`` timing (one-shot numbers are jittery)."""
     seconds = float("inf")
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = OmniSimulator(compiled, executor=executor).run()
+        result = session.run(executor=executor)
         seconds = min(seconds, time.perf_counter() - start)
     return {
         "seconds": round(seconds, 6),
@@ -101,12 +114,12 @@ def _timed_run(compiled, executor: str, repeats: int) -> dict:
 
 def bench_design(name: str, params: dict, repeats: int = 3) -> dict:
     """Events/sec and cycles/sec of one design under both executors."""
-    compiled = compile_design(designs.get(name).make(**params))
+    session = Session.open(name, **params)
     # Warm both paths: the first compiled run pays the closure lowering.
-    OmniSimulator(compiled, executor="interp").run()
-    OmniSimulator(compiled, executor="compiled").run()
-    interp = _timed_run(compiled, "interp", repeats)
-    compiled_run = _timed_run(compiled, "compiled", repeats)
+    session.run(executor="interp")
+    session.run(executor="compiled")
+    interp = _timed_run(session, "interp", repeats)
+    compiled_run = _timed_run(session, "compiled", repeats)
     return {
         "params": params,
         "events": compiled_run["events"],
@@ -122,8 +135,7 @@ def bench_design(name: str, params: dict, repeats: int = 3) -> dict:
 def bench_retime(name: str, params: dict, fifo: str, depth_range) -> dict:
     """Per-configuration retime cost across a depth sweep, cached static
     edges vs a from-scratch edge rebuild per configuration."""
-    compiled = compile_design(designs.get(name).make(**params))
-    result = OmniSimulator(compiled, executor="compiled").run()
+    result = Session.open(name, **params).baseline(executor="compiled")
     graph = result.graph
     base_depths = {n: ch.depth for n, ch in result.fifo_channels.items()}
     configs = [dict(base_depths, **{fifo: d}) for d in depth_range]
@@ -186,6 +198,67 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
     }
 
 
+def bench_api(name: str, params: dict, runs: int, jobs: int,
+              fifo: str = "sc") -> dict:
+    """Batched multi-run throughput: ``Session.run_many`` vs the
+    pre-redesign pattern of calling ``.run()`` in a loop.
+
+    The batch sweeps one FIFO's depth across ``runs`` configurations — a
+    realistic what-if batch.  The ``.run()`` loop pays a full Func+Perf
+    simulation per configuration; ``run_many`` serves depth variations
+    by constraint-checked incremental replay of the captured baseline
+    (full-run fallback) and, with ``jobs > 1``, shards the batch over a
+    process pool that receives the compiled artifact once.  Both must
+    agree on every cycle count — that differential is asserted here and
+    tested in ``tests/test_run_many.py``.
+    """
+    session = Session.open(name, **params)
+    base_depth = session.compiled.stream_depths()[fifo]
+    configs = [{"depths": {fifo: base_depth + i}} for i in range(runs)]
+    session.baseline()  # warm: compile + capture paid before any timing
+
+    start = time.perf_counter()
+    looped = [session.run(depths=config["depths"]) for config in configs]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sequential = session.run_many(configs, jobs=1)
+    seq_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = session.run_many(configs, jobs=jobs)
+    par_seconds = time.perf_counter() - start
+
+    cycles = [r.cycles for r in looped]
+    assert cycles == [r.cycles for r in sequential]
+    assert cycles == [r.cycles for r in batched]
+    incremental = sum(
+        1 for r in batched
+        if r.phase_seconds.get("serving") == "incremental"
+    )
+    return {
+        "params": params,
+        "design": session.name,
+        "fifo": fifo,
+        "runs": runs,
+        "jobs": jobs,
+        "incremental": incremental,
+        "run_loop": {
+            "seconds": round(loop_seconds, 6),
+            "runs_per_sec": round(runs / loop_seconds, 2),
+        },
+        "run_many_jobs1": {
+            "seconds": round(seq_seconds, 6),
+            "runs_per_sec": round(runs / seq_seconds, 2),
+        },
+        "run_many_sharded": {
+            "seconds": round(par_seconds, 6),
+            "runs_per_sec": round(runs / par_seconds, 2),
+        },
+        "speedup_vs_run_loop": round(loop_seconds / par_seconds, 2),
+    }
+
+
 def _aggregate(entries: list[dict]) -> dict:
     """Group throughput: total events / total wall-clock per executor."""
     out = {}
@@ -210,6 +283,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     groups = SMOKE_GROUPS if smoke else BENCH_GROUPS
     sweeps = SMOKE_RETIME_SWEEPS if smoke else RETIME_SWEEPS
     dse_sweeps = SMOKE_DSE_SWEEPS if smoke else DSE_SWEEPS
+    api_batches = SMOKE_API_BATCHES if smoke else API_BATCHES
     report = {
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -220,6 +294,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "groups": {},
         "retime": {},
         "dse": {},
+        "api": {},
     }
     repeats = 1 if smoke else 3
     for group, entries in groups.items():
@@ -260,6 +335,17 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" {entry['configs']} configurations"
             f" ({100 * entry['incremental_fraction']:.0f}% incremental,"
             f" pareto size {entry['pareto_size']})"
+        )
+    for name, params, runs, jobs in api_batches:
+        echo(f"api batch {name} ({runs} runs, jobs={jobs}) ...")
+        entry = bench_api(name, params, runs, jobs)
+        report["api"][name] = entry
+        echo(
+            f"  run() loop {entry['run_loop']['runs_per_sec']:,.1f} runs/s"
+            f" vs run_many {entry['run_many_sharded']['runs_per_sec']:,.1f}"
+            f" runs/s with {jobs} jobs"
+            f" ({entry['speedup_vs_run_loop']:.2f}x,"
+            f" {entry['incremental']}/{runs} incremental)"
         )
     return report
 

@@ -35,26 +35,24 @@ import os
 import sys
 
 from . import bench as bench_module
-from . import compile_design, designs
-from .analysis import classify, render_table
+from . import designs
+from .analysis import render_table
+from .api import Session
 from .errors import DeadlockError, ReproError, UnsupportedDesignError
-from .sim import (
-    EXECUTORS,
-    CoSimulator,
-    CSimulator,
-    LightningSimulator,
-    OmniSimulator,
-    ThreadedOmniSimulator,
-)
+from .sim import EXECUTORS, engine_names, get_engine
 
-SIMULATORS = {
-    "omnisim": OmniSimulator,
-    "cosim": CoSimulator,
-    "csim": CSimulator,
-    "lightningsim": LightningSimulator,
-    "omnisim-threads": ThreadedOmniSimulator,
-}
 
+def _cli_engines() -> list[str]:
+    """``--sim`` choices: every registered engine exposed to the CLI."""
+    return engine_names(cli_only=True)
+
+
+def __getattr__(name: str):
+    # Back-compat shim: ``cli.SIMULATORS`` was the pre-registry engine
+    # table; derive it from the registry so old importers keep working.
+    if name == "SIMULATORS":
+        return {n: get_engine(n).cls for n in _cli_engines()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _parse_depths(pairs) -> dict:
@@ -90,22 +88,14 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    spec = designs.resolve(args.design)
-    compiled = compile_design(spec.make())
-    sim_class = SIMULATORS[args.sim]
-    kwargs = {"executor": args.executor}
-    if args.sim not in ("csim",):
-        depths = _parse_depths(args.depth)
-        unknown = sorted(set(depths) - set(compiled.stream_depths()))
-        if unknown:
-            raise SystemExit(
-                f"--depth: unknown FIFO name(s) {', '.join(unknown)}; "
-                f"design {compiled.name} has: "
-                f"{', '.join(sorted(compiled.stream_depths()))}"
-            )
-        kwargs["depths"] = depths
+    # All resolve/compile/validate wiring lives in the Session + engine
+    # registry: unknown FIFO names raise a clean UnknownFifoError (exit
+    # 1 via the ReproError handler in main), and depths passed to an
+    # engine that cannot honour them (csim) surface as a result warning.
+    session = Session.open(args.design)
     try:
-        result = sim_class(compiled, **kwargs).run()
+        result = session.run(engine=args.sim, executor=args.executor,
+                             depths=_parse_depths(args.depth))
     except DeadlockError as exc:
         print(f"DEADLOCK DETECTED: {exc}")
         return 2
@@ -260,12 +250,11 @@ def cmd_gen(args) -> int:
 
 
 def cmd_classify(args) -> int:
-    spec = designs.resolve(args.design)
-    compiled = compile_design(spec.make())
-    info = classify(compiled)
-    print(f"design          : {spec.name}")
+    session = Session.open(args.design)
+    info = session.classify()
+    print(f"design          : {session.name}")
     print(f"type            : {info.design_type} "
-          f"(registry label: {spec.design_type})")
+          f"(registry label: {session.spec.design_type})")
     print(f"func sim level  : L{info.func_sim_level}")
     print(f"perf sim level  : L{info.perf_sim_level}")
     print(f"cyclic          : {info.cyclic}")
@@ -277,19 +266,15 @@ def cmd_classify(args) -> int:
 
 
 def cmd_report(args) -> int:
-    spec = designs.resolve(args.design)
-    compiled = compile_design(spec.make())
-    rows = []
-    for module in compiled.modules:
-        rows.append((
-            module.name,
-            len(module.function.blocks),
-            module.schedule.total_static_states,
-            str(module.static_latency),
-        ))
+    session = Session.open(args.design)
+    rows = [
+        (row["module"], row["blocks"], row["fsm_states"],
+         row["static_latency"])
+        for row in session.report()
+    ]
     print(render_table(
         ["module", "blocks", "fsm states", "static latency"],
-        rows, title=f"C-synthesis report for {spec.name}",
+        rows, title=f"C-synthesis report for {session.name}",
     ))
     print("\n('?' = latency not statically determinable; "
           "run a simulator for dynamic cycles)")
@@ -334,7 +319,7 @@ def main(argv=None) -> int:
                "4 simulated failure",
     )
     run_parser.add_argument("design", help=_DESIGN_HELP)
-    run_parser.add_argument("--sim", choices=sorted(SIMULATORS),
+    run_parser.add_argument("--sim", choices=_cli_engines(),
                             default="omnisim",
                             help="simulation engine (default: omnisim)")
     run_parser.add_argument("--executor", choices=sorted(EXECUTORS),

@@ -33,8 +33,8 @@ from dataclasses import dataclass, field
 
 from ..errors import ConstraintViolation, DeadlockError, SimulationError
 from ..sim.incremental import resimulate
-from ..sim.omnisim import OmniSimulator
-from ..sim.result import SimulationResult
+from ..sim.registry import run_engine
+from ..sim.result import portable_reference
 from .pareto import pareto_front
 from .space import DepthSpace
 
@@ -161,22 +161,6 @@ class SweepResult:
         }
 
 
-def _portable_reference(result):
-    """Strip a captured run down to what incremental replay needs.
-
-    Keeps the graph, constraints and FIFO channels; drops functional
-    outputs and stats so the pickle shipped to every worker stays small.
-    """
-    return SimulationResult(
-        design_name=result.design_name,
-        simulator=result.simulator,
-        cycles=result.cycles,
-        graph=result.graph,
-        constraints=result.constraints,
-        fifo_channels=result.fifo_channels,
-    )
-
-
 class Evaluator:
     """Incremental-first evaluation against a mutable reference run."""
 
@@ -232,8 +216,8 @@ class Evaluator:
     def _evaluate_full(self, depths: dict, start: float,
                        detail: str) -> SweepPoint:
         try:
-            fresh = OmniSimulator(self.compiled, depths=depths,
-                                  executor=self.executor).run()
+            fresh = run_engine("omnisim", self.compiled, depths=depths,
+                               executor=self.executor)
         except DeadlockError as exc:
             return SweepPoint(
                 depths=depths,
@@ -259,39 +243,17 @@ class Evaluator:
 # process-pool sharding
 #
 # One Evaluator per worker process, built in the pool initializer from a
-# design reference — ("registry", name, params) recompiles from the design
-# registry inside the worker; ("specfile", path, params) re-parses a DSL
-# spec file (generated designs' kernels are exec-built and don't pickle);
-# ("compiled", design) ships an already compiled design through pickle
-# (ad-hoc designs built outside the registry).  Module-level state because
-# ProcessPoolExecutor tasks can only reach module globals.
+# design reference (see :mod:`repro.api.design_ref` — the same picklable
+# reference scheme ``Session.run_many`` workers use).  Module-level state
+# because ProcessPoolExecutor tasks can only reach module globals.
 
 _WORKER_EVALUATOR: Evaluator | None = None
 
 
 def _make_compile_fn(design_ref):
-    tag = design_ref[0]
-    if tag == "registry":
-        _tag, name, params = design_ref
+    from ..api.design_ref import compile_from_ref
 
-        def compile_fn():
-            from .. import compile_design, designs
-
-            return compile_design(designs.get(name).make(**params))
-
-        return compile_fn
-    if tag == "specfile":
-        _tag, path, params = design_ref
-
-        def compile_fn():
-            from .. import compile_design
-            from ..designs import dsl
-
-            return compile_design(dsl.load_design_spec(path).make(**params))
-
-        return compile_fn
-    compiled = design_ref[1]
-    return lambda: compiled
+    return lambda: compile_from_ref(design_ref)
 
 
 def _init_worker(design_ref, base_depths, executor, reference) -> None:
@@ -305,19 +267,6 @@ def _evaluate_chunk(configs) -> list:
     return [_WORKER_EVALUATOR.evaluate(config) for config in configs]
 
 
-def _chunk(items: list, pieces: int) -> list:
-    """Split into at most ``pieces`` contiguous runs of near-equal size
-    (contiguity keeps enumeration neighbours in one worker's shard)."""
-    pieces = max(1, min(pieces, len(items)))
-    size, rem = divmod(len(items), pieces)
-    chunks, cursor = [], 0
-    for i in range(pieces):
-        step = size + (1 if i < rem else 0)
-        chunks.append(items[cursor:cursor + step])
-        cursor += step
-    return chunks
-
-
 # ---------------------------------------------------------------------------
 
 
@@ -326,35 +275,42 @@ def explore(design, space, *, params: dict | None = None,
             executor: str | None = None) -> SweepResult:
     """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
 
-    ``design`` is a registry name (group aliases accepted), a DSL spec
-    file path (``*.yaml``/``*.json``, see :mod:`repro.designs.dsl`), or
-    an already-compiled design; ``space`` is a :class:`DepthSpace` or a
-    list of axis specs (``"fifo=1:16"``).  ``samples`` draws a seeded
-    random subset instead of the full grid; ``jobs`` shards
-    configurations across a process pool (ad-hoc compiled designs that
-    cannot be pickled fall back to in-process evaluation; the result's
-    ``jobs`` field reports the parallelism actually used).
+    ``design`` is anything :class:`repro.api.Session` opens — a registry
+    name (group aliases accepted), a DSL spec file path
+    (``*.yaml``/``*.json``, see :mod:`repro.designs.dsl`), an
+    ``hls.Design`` / compiled design, or an already-open ``Session``
+    (whose cached compiled artifact and captured baseline are reused);
+    ``space`` is a :class:`DepthSpace` or a list of axis specs
+    (``"fifo=1:16"``).  ``samples`` draws a seeded random subset instead
+    of the full grid; ``jobs`` shards configurations across a process
+    pool (ad-hoc compiled designs that cannot be pickled fall back to
+    in-process evaluation; the result's ``jobs`` field reports the
+    parallelism actually used).
     """
+    from ..api import Session
+
     if not isinstance(space, DepthSpace):
         space = DepthSpace.parse(space)
-    params = dict(params or {})
-    if isinstance(design, str):
-        from .. import compile_design, designs
-        from ..designs import dsl
-
-        compiled = compile_design(designs.resolve(design).make(**params))
-        if dsl.looks_like_spec_path(design):
-            design_ref = ("specfile", design, params)
-        else:
-            design_ref = ("registry", design, params)
+    if isinstance(design, Session):
+        if params:
+            raise TypeError(
+                "params cannot be combined with an already-open Session "
+                "(its design was built at open time); open the Session "
+                "with the desired params instead"
+            )
+        session = design
     else:
-        compiled = design
-        design_ref = ("compiled", compiled)
+        session = Session(design, **(params or {}))
+    params = dict(session.params)
+    compiled = session.compiled
+    design_ref = session.design_ref
     space.validate_against(compiled.design.streams)
     base_depths = compiled.stream_depths()
 
+    # The session's cached baseline is the capture run: a pre-warmed
+    # session makes this (nearly) free, which is the point of the facade.
     capture_start = _time.perf_counter()
-    base = OmniSimulator(compiled, executor=executor).run()
+    base = session.baseline(executor=executor)
     capture_seconds = _time.perf_counter() - capture_start
 
     configs = (space.sample(samples, seed) if samples is not None
@@ -377,10 +333,12 @@ def explore(design, space, *, params: dict | None = None,
         evaluator = Evaluator(base, base_depths, lambda: compiled, executor)
         points = [evaluator.evaluate(config) for config in configs]
     else:
-        reference = _portable_reference(base)
+        reference = portable_reference(base)
         # 4 chunks per worker: balance against stragglers while keeping
         # shards contiguous for re-capture locality.
-        chunks = _chunk(configs, jobs * 4)
+        from ..api.batch import chunk_contiguous
+
+        chunks = chunk_contiguous(configs, jobs * 4)
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,

@@ -114,6 +114,29 @@ class UnknownDesignError(DesignError, KeyError):
         return self.args[0] if self.args else ""
 
 
+class UnknownEngineError(SimulationError, KeyError):
+    """An engine name was not found in the simulation-engine registry
+    (:mod:`repro.sim.registry`).
+
+    Subclasses :class:`KeyError` so mapping-style callers keep working,
+    and :class:`ReproError` so the CLI reports it cleanly; ``str()``
+    returns the plain message (no KeyError repr-quoting).
+    """
+
+    def __str__(self):
+        return self.args[0] if self.args else ""
+
+
+class UnknownFifoError(DesignError):
+    """A depth override named a FIFO the design does not declare.
+
+    Raised by the engine layer (:func:`repro.sim.registry.validate_depths`)
+    before any simulation starts, so ``repro run --depth``, spec-path
+    runs, ``repro dse`` and programmatic :class:`repro.api.Session` calls
+    all fail with the same clean message listing the design's FIFOs.
+    """
+
+
 class SpecError(DesignError):
     """Invalid declarative design spec (``repro.designs.dsl``).
 

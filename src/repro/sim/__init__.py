@@ -1,24 +1,45 @@
-"""Simulation engines: OmniSim core plus the three baselines.
+"""Simulation engines: OmniSim core plus the baselines.
 
 =================  ========================================================
-Engine             Role (paper reference)
+Engine (registry)  Role (paper reference)
 =================  ========================================================
-OmniSimulator      the contribution: coupled Func+Perf sim (sections 5-7)
-CoSimulator        cycle-stepped oracle standing in for C/RTL co-sim
-CSimulator         Vitis-like sequential C simulation (Table 3 baseline)
-LightningSimulator decoupled two-phase baseline (section 5.1, Table 5)
+omnisim            the contribution: coupled Func+Perf sim (sections 5-7)
+omnisim-threads    same orchestration on real OS threads (Fig. 7)
+cosim              cycle-stepped oracle standing in for C/RTL co-sim
+csim               Vitis-like sequential C simulation (Table 3 baseline)
+lightningsim       decoupled two-phase baseline (section 5.1, Table 5)
+naive              naive OS-thread strawman (Fig. 2; not a CLI engine)
 =================  ========================================================
+
+Engines are looked up through the formal registry (:mod:`.registry`):
+``get_engine(name)`` returns the class plus its capability record,
+``create_engine``/``run_engine`` are the single construction/validation
+point.  The high-level entry point is :class:`repro.api.Session`.
+
+Importing engine classes directly from this package
+(``from repro.sim import OmniSimulator``) still works but is deprecated
+in favour of ``repro.api`` / the registry; each class name warns once
+per process on first access.
 """
 
+from __future__ import annotations
+
+import warnings as _warnings
+
 from .context import DEFAULT_EXECUTOR, EXECUTORS, make_executor
-from .cosim import CoSimulator
-from .csim import CSimulator
 from .incremental import IncrementalResult, resimulate
-from .lightningsim import LightningSimulator
-from .naive import NaiveThreadedSimulator
-from .omnisim import OmniSimulator
+from .registry import (
+    Engine,
+    EngineInfo,
+    all_engines,
+    create_engine,
+    engine_names,
+    get_engine,
+    register_engine,
+    run_engine,
+    validate_depths,
+)
 from .result import Constraint, SimulationResult, SimulationStats
-from .thread_executor import ThreadedOmniSimulator
 
 __all__ = [
     "CSimulator",
@@ -26,6 +47,8 @@ __all__ = [
     "Constraint",
     "DEFAULT_EXECUTOR",
     "EXECUTORS",
+    "Engine",
+    "EngineInfo",
     "IncrementalResult",
     "LightningSimulator",
     "NaiveThreadedSimulator",
@@ -33,6 +56,50 @@ __all__ = [
     "SimulationResult",
     "SimulationStats",
     "ThreadedOmniSimulator",
+    "all_engines",
+    "create_engine",
+    "engine_names",
+    "get_engine",
     "make_executor",
+    "register_engine",
     "resimulate",
+    "run_engine",
+    "validate_depths",
 ]
+
+#: pre-registry public class name -> registry engine name.  The classes
+#: are intentionally *not* imported into this namespace: access goes
+#: through ``__getattr__`` below so the legacy import path keeps working
+#: while steering callers to ``repro.api`` (one DeprecationWarning per
+#: name per process).
+_DEPRECATED_ENGINE_EXPORTS = {
+    "OmniSimulator": "omnisim",
+    "ThreadedOmniSimulator": "omnisim-threads",
+    "CoSimulator": "cosim",
+    "CSimulator": "csim",
+    "LightningSimulator": "lightningsim",
+    "NaiveThreadedSimulator": "naive",
+}
+
+_warned_engine_exports: set[str] = set()
+
+
+def __getattr__(name: str):
+    engine = _DEPRECATED_ENGINE_EXPORTS.get(name)
+    if engine is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    if name not in _warned_engine_exports:
+        _warned_engine_exports.add(name)
+        _warnings.warn(
+            f"importing {name} from repro.sim is deprecated; use "
+            f"repro.api.Session (or repro.sim.get_engine({engine!r}).cls "
+            "for direct engine construction)",
+            DeprecationWarning, stacklevel=2,
+        )
+    return get_engine(engine).cls
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DEPRECATED_ENGINE_EXPORTS))

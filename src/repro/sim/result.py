@@ -89,3 +89,22 @@ class SimulationResult:
         for name, value in sorted(self.scalars.items()):
             parts.append(f"{name}={value}")
         return "  ".join(parts)
+
+
+def portable_reference(result: SimulationResult) -> SimulationResult:
+    """Strip a captured run down to what incremental replay needs.
+
+    Keeps the graph, constraints and FIFO channels; drops functional
+    outputs and stats so the pickle shipped to ``repro.dse`` pool
+    workers stays small.  (``Session.run_many`` workers intentionally
+    ship the *full* baseline instead: incrementally served batch results
+    inherit its scalars/buffers, which this strips.)
+    """
+    return SimulationResult(
+        design_name=result.design_name,
+        simulator=result.simulator,
+        cycles=result.cycles,
+        graph=result.graph,
+        constraints=result.constraints,
+        fifo_channels=result.fifo_channels,
+    )

@@ -1,0 +1,112 @@
+"""Backwards compatibility: the pre-``repro.api`` entry points (as used
+by the PR 1-3 code paths) keep working, steering callers to the new
+surface with a single DeprecationWarning per engine name."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import repro.sim
+from repro import compile_design
+from repro.api import Session, get_engine
+from tests.conftest import make_pipeline_design
+
+ENGINE_EXPORTS = {
+    "OmniSimulator": "omnisim",
+    "ThreadedOmniSimulator": "omnisim-threads",
+    "CoSimulator": "cosim",
+    "CSimulator": "csim",
+    "LightningSimulator": "lightningsim",
+    "NaiveThreadedSimulator": "naive",
+}
+
+
+@pytest.fixture
+def fresh_warning_state():
+    """Reset the once-per-process warning bookkeeping around a test."""
+    saved = set(repro.sim._warned_engine_exports)
+    repro.sim._warned_engine_exports.clear()
+    yield
+    repro.sim._warned_engine_exports.clear()
+    repro.sim._warned_engine_exports.update(saved)
+
+
+class TestLegacyImports:
+    def test_classes_still_importable_and_identical(self):
+        for attr, engine in ENGINE_EXPORTS.items():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                cls = getattr(repro.sim, attr)
+            assert cls is get_engine(engine).cls
+
+    def test_single_deprecation_warning_per_name(self, fresh_warning_state):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            getattr(repro.sim, "OmniSimulator")
+            getattr(repro.sim, "OmniSimulator")  # second access: silent
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "repro.api" in message  # points at the replacement
+
+    def test_warning_names_each_engine_separately(self,
+                                                  fresh_warning_state):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            getattr(repro.sim, "CoSimulator")
+            getattr(repro.sim, "CSimulator")
+        assert len(caught) == 2
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.sim.NoSuchSimulator
+
+    def test_dir_lists_engine_classes(self):
+        listing = dir(repro.sim)
+        for attr in ENGINE_EXPORTS:
+            assert attr in listing
+
+    def test_from_import_in_fresh_interpreter_warns_once(self):
+        # The canonical pre-redesign snippet, end to end in a clean
+        # process with DeprecationWarnings turned into output.
+        code = (
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    from repro.sim import OmniSimulator\n"
+            "dep = [w for w in caught\n"
+            "       if issubclass(w.category, DeprecationWarning)]\n"
+            "print(len(dep))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=".", check=True,
+        )
+        assert proc.stdout.strip() == "1"
+
+
+class TestLegacyConstruction:
+    def test_direct_constructor_matches_session(self):
+        compiled = compile_design(make_pipeline_design())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.sim import OmniSimulator
+        legacy = OmniSimulator(compiled, depths={"s1": 4}).run()
+        modern = Session.open(compiled).run(depths={"s1": 4})
+        assert legacy.cycles == modern.cycles
+        assert legacy.scalars == modern.scalars
+
+    def test_cli_simulators_table_shim(self):
+        from repro import cli
+
+        table = cli.SIMULATORS
+        assert table["omnisim"] is get_engine("omnisim").cls
+        assert "naive" not in table  # never was a CLI engine
+        assert set(table) == {"omnisim", "omnisim-threads", "cosim",
+                              "csim", "lightningsim"}
