@@ -23,9 +23,12 @@ DESIGN.md for the system map.
 
 from . import errors, hls
 from .compile import CompiledDesign, CompiledModule, compile_design
-from . import api  # noqa: E402  (needs compile_design defined above)
 
-__version__ = "1.1.0"
+# Set before the api import: repro.api -> trace.store reads the version
+# for cache-key derivation while this module is still initializing.
+__version__ = "1.2.0"
+
+from . import api  # noqa: E402  (needs compile_design defined above)
 
 __all__ = [
     "CompiledDesign",

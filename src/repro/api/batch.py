@@ -19,8 +19,11 @@ design.  Two mechanisms make a batch cheaper than a sequential
 * **Process-pool sharding.**  With ``jobs > 1`` the batch is split into
   contiguous chunks over worker processes.  Each worker receives the
   session's small picklable *design reference* and the captured baseline
-  once through the pool initializer; the design is compiled in a worker
-  only if one of its configurations actually needs a full run.
+  once through the pool initializer — shipped as the columnar trace
+  artifact (CSR static-edge columns included, so no worker rebuilds
+  them) plus the functional outputs served results inherit; the design
+  is compiled in a worker only if one of its configurations actually
+  needs a full run.
 
 Failure semantics: a configuration that deadlocks or is unsupported by
 its engine produces a :class:`~repro.sim.result.SimulationResult` with
@@ -88,7 +91,27 @@ def _strip_replay_state(result: SimulationResult) -> SimulationResult:
     result.graph = None
     result.constraints = []
     result.fifo_channels = {}
+    result.trace = None
     return result
+
+
+def _portable_baseline(baseline, keep_graphs: bool):
+    """The baseline form shipped to pool workers.
+
+    The columnar trace artifact (static-edge columns pre-built, so
+    workers never rebuild them) plus the functional outputs served
+    results inherit; the object graph / constraint list / channel
+    tables travel only when the caller asked to ``keep_graphs``.
+    """
+    from ..trace.columnar import replay_trace
+
+    trace = replay_trace(baseline)
+    if trace is not None:
+        trace.ensure_static()
+    if keep_graphs or trace is None:
+        return baseline
+    return dataclasses.replace(baseline, graph=None, constraints=[],
+                               fifo_channels={})
 
 
 class _BatchRunner:
@@ -164,6 +187,7 @@ class _BatchRunner:
             constraints=list(base.constraints) if keep_graphs else [],
             fifo_channels=(dict(base.fifo_channels) if keep_graphs
                            else {}),
+            trace=base.trace if keep_graphs else None,
         )
 
     def run_config(self, config: dict,
@@ -292,10 +316,12 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
     # wildly in cost — a cosim run is orders slower than an incremental
     # replay) while keeping shards contiguous for re-capture locality.
     chunks = chunk_contiguous(normalized, jobs * 4)
+    shipped = (None if baseline is None
+               else _portable_baseline(baseline, keep_graphs))
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
-        initargs=(session.design_ref, base_depths, baseline),
+        initargs=(session.design_ref, base_depths, shipped),
     ) as pool:
         payloads = [(chunk, keep_graphs) for chunk in chunks]
         return [result

@@ -20,7 +20,12 @@ Lifecycle and caching rules (DESIGN.md section 13):
   fast), compiled **lazily** on first use, and the compiled artifact is
   cached for the life of the session;
 * ``baseline()`` caches one captured OmniSim run per Func Sim executor —
-  the reference that ``graph``/``resimulate`` replay against;
+  the reference that ``trace``/``resimulate`` replay against;
+* with a trace cache enabled (``trace_cache=`` / ``REPRO_TRACE_CACHE``),
+  ``baseline()`` first consults the content-addressed on-disk store
+  (:mod:`repro.trace.store`): a hit skips compilation *and* capture
+  entirely (the baseline then carries the columnar artifact but no
+  object graph); fresh captures are written back for the next process;
 * a session assumes its design is immutable; re-open (or
   ``baseline(refresh=True)``) after mutating a design object in place.
 """
@@ -28,14 +33,16 @@ Lifecycle and caching rules (DESIGN.md section 13):
 from __future__ import annotations
 
 from ..sim.context import resolve_executor
-from ..sim.registry import run_engine, validate_depths
+from ..sim.registry import run_engine, validate_depth_names, validate_depths
+from ..trace.store import artifact_digest, resolve_store
 from .design_ref import resolve_design
 
 
 class Session:
     """Programmatic facade over one design's compile/simulate lifecycle."""
 
-    def __init__(self, design, *, executor: str | None = None, **params):
+    def __init__(self, design, *, executor: str | None = None,
+                 trace_cache=None, **params):
         """See :meth:`open` (the constructor and ``open`` are
         equivalent; ``open`` reads better at call sites)."""
         self.design_ref, self._compile_fn, self.spec = resolve_design(
@@ -45,13 +52,15 @@ class Session:
         self.params = dict(params)
         #: default Func Sim executor for every run (None -> "compiled")
         self.executor = executor
+        #: the on-disk trace store, or None when caching is disabled
+        self.trace_store = resolve_store(trace_cache)
         self._compiled = None
         #: executor name -> captured baseline OmniSim run
         self._baselines: dict = {}
 
     @classmethod
     def open(cls, design, *, executor: str | None = None,
-             **params) -> "Session":
+             trace_cache=None, **params) -> "Session":
         """Open a session on a design.
 
         Args:
@@ -63,9 +72,15 @@ class Session:
             executor: default Func Sim executor for this session's runs
                 (``"compiled"``/``"interp"``; per-call ``executor=``
                 overrides it).
+            trace_cache: on-disk trace-artifact cache setting — a
+                directory path, ``True`` (default directory,
+                ``~/.cache/repro-trace``), ``False`` (disabled even if
+                the env var is set), or ``None`` (consult
+                ``REPRO_TRACE_CACHE``; disabled when unset).
             **params: builder parameter overrides, e.g. ``n=256``.
         """
-        return cls(design, executor=executor, **params)
+        return cls(design, executor=executor, trace_cache=trace_cache,
+                   **params)
 
     # -- cached artifacts ----------------------------------------------
 
@@ -84,25 +99,67 @@ class Session:
             return self.spec.name
         return self.compiled.name
 
+    def trace_digest(self, executor: str | None = None) -> str | None:
+        """The content-address of this session's baseline capture under
+        ``executor`` (see :func:`repro.trace.artifact_digest`), or
+        ``None`` when the design is not fingerprintable (ad-hoc compiled
+        objects)."""
+        key = resolve_executor(executor if executor is not None
+                               else self.executor)
+        return artifact_digest(self.design_ref, key)
+
     def baseline(self, *, executor: str | None = None,
                  refresh: bool = False):
-        """The captured OmniSim reference run (graph + constraints).
+        """The captured OmniSim reference run (trace artifact +
+        constraints; plus the object graph on fresh captures).
 
         Cached per Func Sim executor; ``refresh=True`` re-captures (the
-        invalidation knob for mutated designs or fresh timing numbers).
+        invalidation knob for mutated designs or fresh timing numbers)
+        and rewrites the on-disk cache entry.  With a trace store
+        enabled, a warm hit loads the columnar artifact instead of
+        compiling + capturing; the result's
+        ``phase_seconds["capture"]`` reports ``"warm"`` or ``"cold"``.
         """
         key = resolve_executor(executor if executor is not None
                                else self.executor)
         if refresh or key not in self._baselines:
-            self._baselines[key] = run_engine(
-                "omnisim", self.compiled, executor=key
-            )
+            result = None
+            store = self.trace_store
+            digest = (self.trace_digest(key) if store is not None
+                      else None)
+            if not refresh and digest is not None:
+                artifact = store.get(digest)
+                if artifact is not None:
+                    result = artifact.to_result()
+                    result.phase_seconds["capture"] = "warm"
+            if result is None:
+                result = run_engine("omnisim", self.compiled,
+                                    executor=key)
+                result.phase_seconds["capture"] = "cold"
+                if digest is not None:
+                    from ..trace.columnar import replay_trace
+
+                    artifact = replay_trace(result, executor=key)
+                    if artifact is not None:
+                        store.put(digest, artifact)
+            self._baselines[key] = result
         return self._baselines[key]
 
     @property
     def graph(self):
-        """The captured :class:`~repro.sim.graph.SimulationGraph`."""
+        """The captured :class:`~repro.sim.graph.SimulationGraph` —
+        ``None`` for warm-cache baselines (which carry only the columnar
+        :attr:`trace`)."""
         return self.baseline().graph
+
+    @property
+    def trace(self):
+        """The captured :class:`~repro.trace.TraceArtifact` — the
+        preferred replay handle, derived from the baseline on first
+        access (and loaded directly on warm-cache baselines)."""
+        from ..trace.columnar import replay_trace
+
+        return replay_trace(self.baseline())
 
     # -- execution ------------------------------------------------------
 
@@ -132,11 +189,22 @@ class Session:
         recorded query flips under the new depths (fall back to
         ``run(depths=...)`` — or use :meth:`sweep`, which automates
         exactly that).
+
+        A warm-cache baseline validates the depth names against the
+        artifact's declared FIFO map, so the whole replay stays
+        compile-free.
         """
         from ..sim.incremental import resimulate
+        from ..trace.columnar import replay_trace
 
-        depths = validate_depths(self.compiled, depths)
-        return resimulate(self.baseline(executor=executor), depths)
+        baseline = self.baseline(executor=executor)
+        trace = replay_trace(baseline)
+        if trace is not None and self._compiled is None:
+            depths = validate_depth_names(depths, trace.depths,
+                                          trace.design_name)
+        else:
+            depths = validate_depths(self.compiled, depths)
+        return resimulate(baseline, depths)
 
     def run_many(self, configs, *, jobs: int = 1, incremental: bool = True,
                  keep_graphs: bool = False) -> list:

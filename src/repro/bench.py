@@ -17,7 +17,12 @@ repository's performance trajectory file.  Three headline metrics:
   including the incremental-vs-full split and Pareto frontier size;
 * **batched runs/sec** — ``Session.run_many`` throughput, sequential vs
   sharded over a process pool (the compiled artifact ships to each
-  worker once; the "api" section records the jobs>1 speedup).
+  worker once; the "api" section records the jobs>1 speedup);
+* **trace artifact** — cold (compile + capture + serialize) vs warm
+  (content-addressed load) baseline acquisition through the
+  ``repro.trace`` cache, plus flat-column vs object-graph retime
+  throughput (the "trace" section; warm must be >= 5x cold and the
+  columnar retime must not regress the PR 1 edge-cached baseline).
 
 ``--smoke`` runs a single small design of each kind so CI can guard
 against perf-path regressions without paying the full suite.
@@ -26,6 +31,7 @@ against perf-path regressions without paying the full suite.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from datetime import datetime, timezone
@@ -94,6 +100,17 @@ SMOKE_API_BATCHES = [
     ("vector_add_stream", {"n": 256}, 6, 2),
 ]
 
+#: (design, params, swept fifo, depth range) for the trace-artifact
+#: benchmark: cold vs warm baseline acquisition and flat vs object
+#: retime throughput.
+TRACE_BENCHES = [
+    ("fig4_ex5", {"n": 800}, "fifo2", range(3, 35)),
+]
+
+SMOKE_TRACE_BENCHES = [
+    ("fig4_ex5", {"n": 100}, "fifo2", range(3, 9)),
+]
+
 
 def _timed_run(session: Session, executor: str, repeats: int) -> dict:
     """Best-of-``repeats`` timing (one-shot numbers are jittery)."""
@@ -114,7 +131,10 @@ def _timed_run(session: Session, executor: str, repeats: int) -> dict:
 
 def bench_design(name: str, params: dict, repeats: int = 3) -> dict:
     """Events/sec and cycles/sec of one design under both executors."""
-    session = Session.open(name, **params)
+    # trace_cache=False everywhere in the bench harness: the numbers
+    # must measure real captures regardless of REPRO_TRACE_CACHE in the
+    # caller's environment (bench_trace manages its own temp store).
+    session = Session.open(name, trace_cache=False, **params)
     # Warm both paths: the first compiled run pays the closure lowering.
     session.run(executor="interp")
     session.run(executor="compiled")
@@ -135,7 +155,8 @@ def bench_design(name: str, params: dict, repeats: int = 3) -> dict:
 def bench_retime(name: str, params: dict, fifo: str, depth_range) -> dict:
     """Per-configuration retime cost across a depth sweep, cached static
     edges vs a from-scratch edge rebuild per configuration."""
-    result = Session.open(name, **params).baseline(executor="compiled")
+    result = Session.open(name, trace_cache=False,
+                          **params).baseline(executor="compiled")
     graph = result.graph
     base_depths = {n: ch.depth for n, ch in result.fifo_channels.items()}
     configs = [dict(base_depths, **{fifo: d}) for d in depth_range]
@@ -182,7 +203,8 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
     BENCH numbers stay core-count independent)."""
     from .dse import explore
 
-    sweep = explore(name, specs, params=params, jobs=1)
+    sweep = explore(name, specs, params=params, jobs=1,
+                    trace_cache=False)
     return {
         "params": params,
         "space": specs,
@@ -212,7 +234,7 @@ def bench_api(name: str, params: dict, runs: int, jobs: int,
     agree on every cycle count — that differential is asserted here and
     tested in ``tests/test_run_many.py``.
     """
-    session = Session.open(name, **params)
+    session = Session.open(name, trace_cache=False, **params)
     base_depth = session.compiled.stream_depths()[fifo]
     configs = [{"depths": {fifo: base_depth + i}} for i in range(runs)]
     session.baseline()  # warm: compile + capture paid before any timing
@@ -259,6 +281,107 @@ def bench_api(name: str, params: dict, runs: int, jobs: int,
     }
 
 
+def bench_trace(name: str, params: dict, fifo: str, depth_range,
+                repeats: int = 3) -> dict:
+    """Trace-artifact layer throughput (the ``repro.trace`` story).
+
+    Two comparisons:
+
+    * **cold vs warm capture** — a cold ``Session.baseline()`` pays
+      compile + capture + serialize-to-cache; a warm one in a fresh
+      session loads the columnar artifact by content digest (no
+      compile, no capture, no static-edge build).  The acceptance bar
+      is warm >= 5x cold.
+    * **flat vs object retime** — the columnar
+      ``TraceArtifact.retime`` against the PR 1 edge-cached
+      ``SimulationGraph.retime`` over the same depth sweep (both
+      warmed); the flat path must not regress the object baseline.
+    """
+    import tempfile
+
+    # Explicit raises, not asserts: these acceptance checks must also
+    # fire under `python -O` (the repo runs a stripped-assert CI tier).
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            raise RuntimeError(f"trace bench invariant failed: {what}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        cold_session = Session.open(name, trace_cache=tmp, **params)
+        base = cold_session.baseline()
+        cold_seconds = time.perf_counter() - start
+        check(base.phase_seconds.get("capture") == "cold",
+              "first capture was not cold")
+
+        warm_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            warm_session = Session.open(name, trace_cache=tmp, **params)
+            warm_base = warm_session.baseline()
+            warm_seconds = min(warm_seconds,
+                               time.perf_counter() - start)
+            check(warm_base.phase_seconds.get("capture") == "warm",
+                  "repeat capture missed the cache")
+        check(warm_base.cycles == base.cycles,
+              "warm baseline cycles diverged from cold")
+        artifact_bytes = os.path.getsize(
+            cold_session.trace_store.path(cold_session.trace_digest())
+        )
+
+    graph = base.graph
+    trace = base.trace
+    base_depths = {n: ch.depth for n, ch in base.fifo_channels.items()}
+    configs = [dict(base_depths, **{fifo: d}) for d in depth_range]
+    graph.retime(configs[0])    # warm the object static-edge cache
+    trace.retime(configs[0])    # warm the columnar iteration view
+    check(graph.retime(configs[-1]) == trace.retime(configs[-1]),
+          "flat and object retimes diverged")
+
+    # Interleaved best-of with more rounds than the capture timings:
+    # the two loops run the same algorithm over the same sweep, so the
+    # ratio sits near 1 and needs low-noise floors to be meaningful.
+    object_sec = flat_sec = float("inf")
+    for _ in range(max(repeats, 7)):
+        start = time.perf_counter()
+        for depths in configs:
+            graph.retime(depths)
+        object_sec = min(object_sec,
+                         (time.perf_counter() - start) / len(configs))
+        start = time.perf_counter()
+        for depths in configs:
+            trace.retime(depths)
+        flat_sec = min(flat_sec,
+                       (time.perf_counter() - start) / len(configs))
+
+    # Full columnar incremental re-simulations (retime + validation).
+    resim_start = time.perf_counter()
+    for depths in configs:
+        try:
+            trace.resimulate({fifo: depths[fifo]})
+        except ConstraintViolation:
+            pass
+    resim = (time.perf_counter() - resim_start) / len(configs)
+
+    return {
+        "params": params,
+        "fifo": fifo,
+        "configs": len(configs),
+        "capture_cold_seconds": round(cold_seconds, 6),
+        "capture_warm_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        #: of this bench's cache lookups (1 cold miss, `repeats` warm
+        #: hits) — the trajectory's cache effectiveness number
+        "cache_hits": repeats,
+        "cache_misses": 1,
+        "hit_rate": round(repeats / (repeats + 1), 4),
+        "artifact_bytes": artifact_bytes,
+        "retime_sec_per_config_object": round(object_sec, 6),
+        "retime_sec_per_config_flat": round(flat_sec, 6),
+        "flat_vs_object_retime": round(object_sec / flat_sec, 2),
+        "flat_resimulations_per_sec": round(1.0 / resim, 1),
+    }
+
+
 def _aggregate(entries: list[dict]) -> dict:
     """Group throughput: total events / total wall-clock per executor."""
     out = {}
@@ -284,6 +407,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     sweeps = SMOKE_RETIME_SWEEPS if smoke else RETIME_SWEEPS
     dse_sweeps = SMOKE_DSE_SWEEPS if smoke else DSE_SWEEPS
     api_batches = SMOKE_API_BATCHES if smoke else API_BATCHES
+    trace_benches = SMOKE_TRACE_BENCHES if smoke else TRACE_BENCHES
     report = {
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -295,6 +419,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "retime": {},
         "dse": {},
         "api": {},
+        "trace": {},
     }
     repeats = 1 if smoke else 3
     for group, entries in groups.items():
@@ -346,6 +471,18 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" runs/s with {jobs} jobs"
             f" ({entry['speedup_vs_run_loop']:.2f}x,"
             f" {entry['incremental']}/{runs} incremental)"
+        )
+    for name, params, fifo, depth_range in trace_benches:
+        echo(f"trace artifact {name} ({fifo}) ...")
+        entry = bench_trace(name, params, fifo, depth_range)
+        report["trace"][name] = entry
+        echo(
+            f"  warm capture {entry['warm_speedup']:.1f}x faster than"
+            f" cold ({entry['capture_warm_seconds'] * 1000:.1f} ms vs"
+            f" {entry['capture_cold_seconds'] * 1000:.1f} ms,"
+            f" {entry['artifact_bytes'] / 1024:.0f} KiB on disk),"
+            f" flat retime {entry['flat_vs_object_retime']:.2f}x the"
+            f" object path"
         )
     return report
 

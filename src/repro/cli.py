@@ -14,6 +14,10 @@ Commands:
   [--jobs J] [--json FILE]`` — depth-space exploration: sweep FIFO depth
   configurations through the incremental path (with full-simulation
   fallback) and report the cycles-vs-buffer-area Pareto frontier;
+* ``trace info|verify|gc [--cache-dir DIR]`` — inspect, validate or
+  clean the on-disk trace-artifact cache (captured baselines reused
+  across processes; see ``--trace-cache`` on ``run``/``dse`` and the
+  ``REPRO_TRACE_CACHE`` environment variable);
 * ``bench [--smoke] [--out FILE]`` — run the performance benchmark
   matrix and write ``BENCH_perf.json``.
 
@@ -87,15 +91,61 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _run_from_trace(session, args, depths):
+    """Serve an omnisim run from the session's (possibly warm-cached)
+    baseline: directly at base depths, via constraint-checked
+    incremental replay for depth overrides.  Returns ``None`` when the
+    replay is invalid there (a full run decides what really happens)."""
+    import dataclasses
+
+    from .errors import ConstraintViolation, SimulationError
+
+    try:
+        base = session.baseline(executor=args.executor)
+    except DeadlockError:
+        if depths:
+            # The *declared* depths deadlock; the requested override may
+            # not — the full run at those depths decides (run_many
+            # guards this identically).
+            return None
+        raise
+    if not depths:
+        return base
+    try:
+        inc = session.resimulate(depths, executor=args.executor)
+    except ConstraintViolation:
+        return None
+    except DeadlockError:
+        raise
+    except SimulationError:
+        return None  # replay went cyclic: let a real run diagnose it
+    return dataclasses.replace(
+        base,
+        cycles=inc.cycles,
+        module_end_times=dict(inc.module_end_times),
+        execute_seconds=inc.seconds,
+        frontend_seconds=0.0,
+        phase_seconds=dict(base.phase_seconds, serving="incremental"),
+    )
+
+
 def cmd_run(args) -> int:
     # All resolve/compile/validate wiring lives in the Session + engine
     # registry: unknown FIFO names raise a clean UnknownFifoError (exit
     # 1 via the ReproError handler in main), and depths passed to an
     # engine that cannot honour them (csim) surface as a result warning.
-    session = Session.open(args.design)
+    session = Session.open(args.design, trace_cache=args.trace_cache)
+    depths = _parse_depths(args.depth)
     try:
-        result = session.run(engine=args.sim, executor=args.executor,
-                             depths=_parse_depths(args.depth))
+        result = None
+        if session.trace_store is not None and args.sim == "omnisim":
+            # Repeat runs skip recapture: the baseline loads from the
+            # content-addressed cache and depth overrides replay
+            # incrementally (full-run fallback on divergence).
+            result = _run_from_trace(session, args, depths)
+        if result is None:
+            result = session.run(engine=args.sim, executor=args.executor,
+                                 depths=depths)
     except DeadlockError as exc:
         print(f"DEADLOCK DETECTED: {exc}")
         return 2
@@ -104,6 +154,10 @@ def cmd_run(args) -> int:
         return 3
     print(f"design     : {result.design_name}")
     print(f"simulator  : {result.simulator}")
+    capture = result.phase_seconds.get("capture")
+    if capture is not None:
+        serving = result.phase_seconds.get("serving", "baseline")
+        print(f"trace      : {capture}-capture baseline ({serving})")
     if result.failure:
         print(f"failure    : {result.failure}")
     # Always printed: 0 is a legitimate cycle count (e.g. csim reports
@@ -137,7 +191,7 @@ def cmd_dse(args) -> int:
         )
     space = DepthSpace.parse(specs)
     kwargs = dict(samples=args.samples, seed=args.seed, jobs=args.jobs,
-                  executor=args.executor)
+                  executor=args.executor, trace_cache=args.trace_cache)
     # Directory-sweep mode only when the argument cannot mean a registry
     # design — a stray local directory must not shadow a design name.
     known_name = (args.design in designs.ALIASES
@@ -161,7 +215,7 @@ def cmd_dse(args) -> int:
               sweep.base_depths.items())))
     print(f"throughput : {sweep.configs_per_sec:,.1f} configs/s"
           f"  ({sweep.seconds:.3f} s sweep"
-          f" + {sweep.capture_seconds:.3f} s capture)")
+          f" + {sweep.capture_seconds:.3f} s {sweep.capture} capture)")
 
     pareto = sweep.pareto()
     rows = [
@@ -249,6 +303,70 @@ def cmd_gen(args) -> int:
     return 0
 
 
+def _trace_store_for(args):
+    """The store a ``repro trace`` management command operates on:
+    ``--cache-dir`` wins, else ``REPRO_TRACE_CACHE``, else the default
+    directory (management commands never silently no-op)."""
+    from .trace.store import resolve_store
+
+    return resolve_store(args.cache_dir, fallback=True)
+
+
+def cmd_trace(args) -> int:
+    import time as _time
+
+    from .trace.store import read_header_file
+
+    store = _trace_store_for(args)
+    if store is None:
+        raise SystemExit("trace cache is disabled "
+                         "(REPRO_TRACE_CACHE is off)")
+    entries = store.entries()
+    if args.trace_command == "info":
+        if not entries:
+            print(f"trace cache {store.root}: empty")
+            return 0
+        rows = []
+        for entry in entries:
+            design, executor, nodes = "?", "?", "?"
+            try:
+                meta = read_header_file(entry.path)["meta"]
+                design = meta["design_name"]
+                executor = meta["executor"]
+                nodes = len(meta["module_names"])
+            except Exception as exc:  # noqa: BLE001 - info must not crash
+                design = f"<unreadable: {type(exc).__name__}>"
+            age_h = (_time.time() - entry.mtime) / 3600.0
+            rows.append((entry.digest[:12], design, executor, nodes,
+                         f"{entry.size / 1024:.1f} KiB",
+                         f"{age_h:.1f} h"))
+        total = sum(e.size for e in entries)
+        print(render_table(
+            ["digest", "design", "executor", "modules", "size", "age"],
+            rows, title=f"trace cache {store.root}",
+        ))
+        print(f"\n{len(entries)} artifact(s), {total / 1024:.1f} KiB total")
+        return 0
+    if args.trace_command == "verify":
+        ok, corrupt = store.verify(prune=args.prune)
+        for entry, design in ok:
+            print(f"ok      : {entry.digest[:12]}  {design}")
+        for entry, detail in corrupt:
+            verb = "pruned" if args.prune else "corrupt"
+            print(f"{verb:8}: {entry.digest[:12]}  {detail}")
+        print(f"verified {len(ok) + len(corrupt)} artifact(s): "
+              f"{len(ok)} ok, {len(corrupt)} corrupt"
+              + (" (removed)" if args.prune and corrupt else ""))
+        return 1 if corrupt and not args.prune else 0
+    # gc
+    removed, reclaimed = store.gc(older_than_days=args.older_than)
+    scope = ("all entries" if args.older_than is None
+             else f"entries older than {args.older_than} day(s)")
+    print(f"trace cache {store.root}: removed {removed} artifact(s) "
+          f"({reclaimed / 1024:.1f} KiB), {scope}")
+    return 0
+
+
 def cmd_classify(args) -> int:
     session = Session.open(args.design)
     info = session.classify()
@@ -327,6 +445,11 @@ def main(argv=None) -> int:
                             help="Func Sim executor (default: compiled)")
     run_parser.add_argument("--depth", action="append", metavar="FIFO=N",
                             help="override a FIFO depth")
+    run_parser.add_argument("--trace-cache", metavar="DIR", default=None,
+                            help="enable the on-disk trace cache there: "
+                                 "repeat omnisim runs reuse the captured "
+                                 "baseline instead of recapturing "
+                                 "(REPRO_TRACE_CACHE also enables it)")
 
     bench_parser = sub.add_parser(
         "bench", help="run the performance benchmarks", formatter_class=fmt,
@@ -422,6 +545,58 @@ def main(argv=None) -> int:
     dse_parser.add_argument("--json", dest="json_out", metavar="FILE",
                             default=None,
                             help="write the full sweep result as JSON")
+    dse_parser.add_argument("--trace-cache", metavar="DIR", default=None,
+                            help="enable the on-disk trace cache there: "
+                                 "repeat sweeps reuse the captured "
+                                 "baseline (warm capture) and pool "
+                                 "workers load it by content digest "
+                                 "(REPRO_TRACE_CACHE also enables it)")
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect / manage the on-disk trace cache",
+        formatter_class=fmt,
+        description="Manage the content-addressed trace-artifact cache "
+                    "(captured OmniSim baselines, reused across "
+                    "processes).\n\nEntries are keyed by a SHA-256 over "
+                    "the design source, builder params, Func Sim "
+                    "executor and schema version, so editing a design "
+                    "or changing a parameter never serves stale data — "
+                    "old keys just linger until `trace gc`.  Corrupt "
+                    "files are detected by checksum and fall back to "
+                    "fresh capture at load time.",
+        epilog="examples:\n"
+               "  omnisim run fig4_ex5 --trace-cache ~/.cache/repro-trace"
+               "   # capture once ...\n"
+               "  omnisim run fig4_ex5 --trace-cache ~/.cache/repro-trace"
+               "   # ... warm reuse\n"
+               "  omnisim trace info\n"
+               "  omnisim trace verify --prune\n"
+               "  omnisim trace gc --older-than 7",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    cache_dir_help = ("cache directory (default: REPRO_TRACE_CACHE or "
+                      "~/.cache/repro-trace)")
+    trace_info = trace_sub.add_parser(
+        "info", help="list cached artifacts", formatter_class=fmt)
+    trace_info.add_argument("--cache-dir", metavar="DIR", default=None,
+                            help=cache_dir_help)
+    trace_verify = trace_sub.add_parser(
+        "verify", help="checksum-validate every cached artifact",
+        formatter_class=fmt)
+    trace_verify.add_argument("--cache-dir", metavar="DIR", default=None,
+                              help=cache_dir_help)
+    trace_verify.add_argument("--prune", action="store_true",
+                              help="delete artifacts that fail "
+                                   "validation")
+    trace_gc = trace_sub.add_parser(
+        "gc", help="delete cached artifacts", formatter_class=fmt)
+    trace_gc.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help=cache_dir_help)
+    trace_gc.add_argument("--older-than", type=float, metavar="DAYS",
+                          default=None,
+                          help="only delete artifacts older than DAYS "
+                               "(default: all)")
 
     classify_parser = sub.add_parser(
         "classify", help="taxonomy analysis (Type A/B/C)",
@@ -448,6 +623,7 @@ def main(argv=None) -> int:
         "report": cmd_report,
         "gen": cmd_gen,
         "dse": cmd_dse,
+        "trace": cmd_trace,
         "bench": cmd_bench,
     }[args.command]
     try:

@@ -19,9 +19,13 @@ scale):
 Sharding: with ``jobs > 1`` the configuration list is split into
 contiguous chunks (preserving neighbour locality) and spread over a
 ``concurrent.futures`` process pool.  Each worker receives the captured
-base run once (the graph's pickle drops its static-edge cache, see
-:meth:`SimulationGraph.__getstate__`) and compiles the design lazily —
-only if one of its configurations actually needs a full re-simulation.
+base run once — as a ``("trace", digest, cache_dir)`` reference into the
+content-addressed store when the baseline artifact is cached (workers
+load the static-edge-complete columnar artifact straight from disk;
+the initializer payload is just a digest), falling back to pickling the
+portable trace-carrying reference otherwise — and compiles the design
+lazily, only if one of its configurations actually needs a full
+re-simulation.
 """
 
 from __future__ import annotations
@@ -93,6 +97,9 @@ class SweepResult:
     capture_seconds: float = 0.0
     #: wall-clock seconds of the sweep itself
     seconds: float = 0.0
+    #: where the reference capture came from: "cold" (fresh simulation)
+    #: or "warm" (loaded from the on-disk trace cache)
+    capture: str = "cold"
 
     @property
     def evaluated(self) -> int:
@@ -153,6 +160,7 @@ class SweepResult:
             "full": self.full_count,
             "deadlocked": self.deadlock_count,
             "incremental_fraction": round(self.incremental_fraction, 4),
+            "capture": self.capture,
             "capture_seconds": round(self.capture_seconds, 6),
             "seconds": round(self.seconds, 6),
             "configs_per_sec": round(self.configs_per_sec, 2),
@@ -194,6 +202,12 @@ class Evaluator:
         depths = dict(self.base_depths)
         depths.update(config)
         start = _time.perf_counter()
+        if self.reference is None:
+            # No replay handle (cache entry vanished between shipping
+            # and worker start): every point runs full until the first
+            # successful run re-captures a reference.
+            return self._evaluate_full(depths, start,
+                                       "reference unavailable")
         try:
             incremental = resimulate(self.reference, depths)
         except ConstraintViolation as exc:
@@ -222,7 +236,7 @@ class Evaluator:
             return SweepPoint(
                 depths=depths,
                 cycles=None,
-                buffer_bits=self.reference.graph.buffer_bits(depths),
+                buffer_bits=self._buffer_bits(depths),
                 source=SOURCE_DEADLOCK,
                 seconds=_time.perf_counter() - start,
                 detail=str(exc),
@@ -232,10 +246,28 @@ class Evaluator:
         return SweepPoint(
             depths=depths,
             cycles=fresh.cycles,
-            buffer_bits=fresh.graph.buffer_bits(depths),
+            buffer_bits=self._buffer_bits(depths),
             source=SOURCE_FULL,
             seconds=_time.perf_counter() - start,
             detail=detail,
+        )
+
+    def _buffer_bits(self, depths: dict) -> int:
+        """FIFO storage cost of ``depths``: via the reference's replay
+        trace when one exists, else from the design's stream
+        declarations (no-reference workers)."""
+        from ..trace.columnar import DEFAULT_FIFO_WIDTH, replay_trace
+
+        trace = (replay_trace(self.reference)
+                 if self.reference is not None else None)
+        if trace is not None:
+            return trace.buffer_bits(depths)
+        streams = self.compiled.design.streams
+        return sum(
+            depth * (getattr(streams[name].element, "width",
+                             DEFAULT_FIFO_WIDTH)
+                     if name in streams else DEFAULT_FIFO_WIDTH)
+            for name, depth in depths.items()
         )
 
 
@@ -256,10 +288,27 @@ def _make_compile_fn(design_ref):
     return lambda: compile_from_ref(design_ref)
 
 
-def _init_worker(design_ref, base_depths, executor, reference) -> None:
+def _load_reference(reference_spec):
+    """Materialize the worker's reference run from its shipped form:
+    ``("object", portable_result)`` or a ``("trace", digest, cache_dir)``
+    reference into the shared on-disk store (missing/corrupt entries
+    degrade to ``None`` — full runs re-capture a reference)."""
+    if reference_spec is None:
+        return None
+    if reference_spec[0] == "object":
+        return reference_spec[1]
+    from ..api.design_ref import load_trace_from_ref
+
+    artifact = load_trace_from_ref(reference_spec)
+    return artifact.to_result() if artifact is not None else None
+
+
+def _init_worker(design_ref, base_depths, executor,
+                 reference_spec) -> None:
     global _WORKER_EVALUATOR
     _WORKER_EVALUATOR = Evaluator(
-        reference, base_depths, _make_compile_fn(design_ref), executor
+        _load_reference(reference_spec), base_depths,
+        _make_compile_fn(design_ref), executor
     )
 
 
@@ -272,7 +321,7 @@ def _evaluate_chunk(configs) -> list:
 
 def explore(design, space, *, params: dict | None = None,
             samples: int | None = None, seed: int = 0, jobs: int = 1,
-            executor: str | None = None) -> SweepResult:
+            executor: str | None = None, trace_cache=None) -> SweepResult:
     """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
 
     ``design`` is anything :class:`repro.api.Session` opens — a registry
@@ -285,7 +334,12 @@ def explore(design, space, *, params: dict | None = None,
     of the full grid; ``jobs`` shards configurations across a process
     pool (ad-hoc compiled designs that cannot be pickled fall back to
     in-process evaluation; the result's ``jobs`` field reports the
-    parallelism actually used).
+    parallelism actually used).  ``trace_cache`` enables the on-disk
+    trace-artifact cache for the capture run (see
+    :class:`repro.api.Session`): warm sweeps skip recapture entirely,
+    pool workers load the baseline by content digest instead of
+    receiving it through pickle, and the result's ``capture`` field
+    reports ``"warm"`` or ``"cold"``.
     """
     from ..api import Session
 
@@ -298,20 +352,54 @@ def explore(design, space, *, params: dict | None = None,
                 "(its design was built at open time); open the Session "
                 "with the desired params instead"
             )
+        if trace_cache is not None:
+            raise TypeError(
+                "trace_cache cannot be combined with an already-open "
+                "Session (its cache setting was fixed at open time); "
+                "open the Session with trace_cache=... instead"
+            )
         session = design
     else:
-        session = Session(design, **(params or {}))
+        session = Session(design, trace_cache=trace_cache,
+                          **(params or {}))
     params = dict(session.params)
-    compiled = session.compiled
     design_ref = session.design_ref
-    space.validate_against(compiled.design.streams)
-    base_depths = compiled.stream_depths()
+
+    # When the baseline artifact is already on disk, the whole parent-
+    # side sweep setup is compile-free: the artifact carries the design
+    # name and the full declared depth map, and workers compile lazily
+    # from the design reference only on full-run fallbacks.  (If the
+    # cache entry turns out corrupt, baseline() falls back to a fresh
+    # capture — which compiles — and the non-warm setup below applies.)
+    store = session.trace_store
+    warm_possible = (
+        store is not None and session._compiled is None
+        and design_ref[0] != "compiled"
+        and store.contains(session.trace_digest(executor) or "")
+    )
+    if not warm_possible:
+        space.validate_against(session.compiled.design.streams)
 
     # The session's cached baseline is the capture run: a pre-warmed
-    # session makes this (nearly) free, which is the point of the facade.
+    # session (or a warm cache hit) makes this (nearly) free, which is
+    # the point of the facade.
     capture_start = _time.perf_counter()
     base = session.baseline(executor=executor)
     capture_seconds = _time.perf_counter() - capture_start
+
+    from ..trace.columnar import replay_trace
+
+    trace = replay_trace(base)
+    compile_free = trace is not None and session._compiled is None
+    if warm_possible:
+        space.validate_against(trace.depths if compile_free
+                               else session.compiled.design.streams)
+    if compile_free:
+        design_name = trace.design_name
+        base_depths = dict(trace.depths)
+    else:
+        design_name = session.compiled.name
+        base_depths = session.compiled.stream_depths()
 
     configs = (space.sample(samples, seed) if samples is not None
                else list(space.configurations()))
@@ -326,14 +414,15 @@ def explore(design, space, *, params: dict | None = None,
         # crashing platform-dependently; the result's ``jobs`` field
         # reports what actually ran.
         try:
-            pickle.dumps(compiled)
+            pickle.dumps(session.compiled)
         except Exception:
             jobs = 1
     if jobs == 1:
-        evaluator = Evaluator(base, base_depths, lambda: compiled, executor)
+        evaluator = Evaluator(base, base_depths,
+                              lambda: session.compiled, executor)
         points = [evaluator.evaluate(config) for config in configs]
     else:
-        reference = portable_reference(base)
+        reference_spec = _reference_spec(session, base, executor)
         # 4 chunks per worker: balance against stragglers while keeping
         # shards contiguous for re-capture locality.
         from ..api.batch import chunk_contiguous
@@ -342,7 +431,7 @@ def explore(design, space, *, params: dict | None = None,
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
-            initargs=(design_ref, base_depths, executor, reference),
+            initargs=(design_ref, base_depths, executor, reference_spec),
         ) as pool:
             points = [point
                       for chunk in pool.map(_evaluate_chunk, chunks)
@@ -350,7 +439,7 @@ def explore(design, space, *, params: dict | None = None,
     seconds = _time.perf_counter() - sweep_start
 
     return SweepResult(
-        design=compiled.name,
+        design=design_name,
         params=params,
         base_depths=base_depths,
         base_cycles=base.cycles,
@@ -359,7 +448,30 @@ def explore(design, space, *, params: dict | None = None,
         points=points,
         capture_seconds=capture_seconds,
         seconds=seconds,
+        capture=base.phase_seconds.get("capture", "cold"),
     )
+
+
+def _reference_spec(session, base, executor):
+    """The shipped form of the reference run for pool workers: a
+    ``("trace", digest, cache_dir)`` reference when the baseline
+    artifact sits in the session's on-disk store (workers then load it
+    from disk — the initializer payload is a digest, not a pickled
+    graph), else the portable trace-carrying object."""
+    store = session.trace_store
+    if store is not None:
+        digest = session.trace_digest(executor)
+        if digest is not None and store.contains(digest):
+            from ..api.design_ref import trace_ref
+
+            return trace_ref(digest, store.root)
+    reference = portable_reference(base)
+    trace = reference.trace
+    if trace is not None:
+        # Ship the static-edge columns with the artifact so no worker
+        # rebuilds them (the whole point of the columnar layer).
+        trace.ensure_static()
+    return ("object", reference)
 
 
 def iter_spec_files(directory) -> list:

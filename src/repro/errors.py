@@ -147,6 +147,16 @@ class SpecError(DesignError):
     """
 
 
+class TraceFormatError(ReproError):
+    """A serialized trace artifact failed validation (``repro.trace``).
+
+    Raised on bad magic, an unknown schema version, a checksum mismatch
+    or a truncated/malformed payload.  The on-disk cache treats any of
+    these as a miss — fresh capture with a warning — so a poisoned cache
+    can never crash a run or serve stale results.
+    """
+
+
 class DseError(ReproError):
     """Invalid depth-space specification or exploration request
     (``repro.dse``): unknown FIFO names, empty/ill-formed ranges."""

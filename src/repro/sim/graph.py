@@ -126,11 +126,13 @@ class SimulationGraph:
     # ------------------------------------------------------------------
     # cross-process reuse
     #
-    # A captured graph is shipped to design-space-exploration workers via
-    # pickle.  The static-edge cache is pure derived state and by far the
-    # largest attachment, so it is dropped from the pickle: each process
-    # rebuilds (and then keeps) its own cache on first retime, and no
-    # worker ever observes a cache inconsistent with the node arrays.
+    # Cross-process shipping goes through the columnar trace artifact
+    # (repro.trace), which carries its CSR static-edge columns with it —
+    # pool workers never rebuild them.  The object graph itself is no
+    # longer shipped on the hot paths; when it is pickled (tests, ad-hoc
+    # tooling) the static-edge cache is still dropped: it is pure
+    # derived state, by far the largest attachment, and the receiving
+    # process rebuilds a consistent cache on first retime.
 
     def __getstate__(self):
         state = self.__dict__.copy()

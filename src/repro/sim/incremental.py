@@ -15,10 +15,17 @@ LightningSim's can.  Instead, every resolved timing query was recorded as a
 4. otherwise the new cycle count is returned in microseconds-to-
    milliseconds, versus seconds for a full run (paper Table 6).
 
-Depth sweeps are cheap: the graph caches its depth-independent edges in
-CSR form after the first retime (see :mod:`repro.sim.graph`), so each
+Depth sweeps are cheap: the depth-independent edges live in CSR form on
+the result's columnar :class:`~repro.trace.TraceArtifact` (built once
+per capture, shipped with the artifact across processes), so each
 additional configuration pays only the WAR-edge overlay, one relaxation
 sweep, and constraint re-validation.
+
+:func:`resimulate` prefers the columnar artifact; the original
+per-object path is kept as :func:`resimulate_object` — the differential
+oracle the columnar path is tested bit-for-bit against
+(``tests/test_trace_artifact.py``), mirroring how the interpreter backs
+the closure-compiled executor.
 """
 
 from __future__ import annotations
@@ -61,7 +68,25 @@ def resimulate(result: SimulationResult, new_depths: dict
     invalid under the new configuration (a full re-simulation is needed),
     or :class:`~repro.errors.SimulationError` if the new depths deadlock
     the recorded execution.
+
+    Served by the columnar trace artifact — built lazily from the
+    recorded graph on first replay and cached on the result
+    (cache-loaded baselines carry *only* the artifact).  Results with no
+    replay state at all fall through to the object path's diagnostics.
     """
+    from ..trace.columnar import replay_trace
+
+    trace = replay_trace(result)
+    if trace is not None:
+        return trace.resimulate(new_depths)
+    return resimulate_object(result, new_depths)
+
+
+def resimulate_object(result: SimulationResult, new_depths: dict
+                      ) -> IncrementalResult:
+    """The pre-columnar object-graph implementation of
+    :func:`resimulate`, kept as the differential oracle for
+    :meth:`repro.trace.TraceArtifact.resimulate`."""
     if result.graph is None or result.fifo_channels is None:
         raise SimulationError(
             "incremental re-simulation requires an OmniSim result (with "

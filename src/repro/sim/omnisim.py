@@ -637,4 +637,10 @@ class OmniSimulator:
             fifo_channels=self.state.fifos,
         )
         collect_outputs(self.compiled, self.state, result)
+        # The columnar trace artifact (repro.trace) — the flat,
+        # picklable, cacheable form every downstream consumer replays
+        # against — is derived from this result lazily on first use
+        # (repro.trace.replay_trace), so runs that never replay (plain
+        # `repro run`, full-served batch configs) don't pay the column
+        # build.
         return result

@@ -141,13 +141,23 @@ def validate_depths(compiled, depths: dict) -> dict:
         UnknownFifoError: for FIFO names the design does not declare.
         ValueError: for non-integer or < 1 depths.
     """
+    return validate_depth_names(depths, compiled.stream_depths(),
+                                compiled.name)
+
+
+def validate_depth_names(depths: dict, known, design_name: str) -> dict:
+    """:func:`validate_depths` against an explicit FIFO-name collection.
+
+    Lets callers that already know the design's FIFOs — e.g. a
+    warm-cache :class:`~repro.trace.TraceArtifact`, which carries the
+    full declared depth map — validate without forcing a compile.
+    """
     depths = dict(depths or {})
-    known = compiled.stream_depths()
     unknown = sorted(set(depths) - set(known))
     if unknown:
         raise UnknownFifoError(
             f"unknown FIFO name(s) {', '.join(unknown)}; design "
-            f"{compiled.name!r} has: {', '.join(sorted(known))}"
+            f"{design_name!r} has: {', '.join(sorted(known))}"
         )
     for fifo, depth in depths.items():
         if not isinstance(depth, int) or isinstance(depth, bool):

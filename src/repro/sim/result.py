@@ -60,7 +60,11 @@ class SimulationResult:
     warnings: list = field(default_factory=list)
     #: fatal failure description (C-sim baseline: simulated SIGSEGV / hang)
     failure: str | None = None
-    #: per-phase wall-clock breakdown (LightningSim: trace vs analysis)
+    #: per-phase breakdown: wall-clock floats (LightningSim: trace vs
+    #: analysis) and string provenance markers — ``"serving"``:
+    #: ``"incremental"``/``"full"`` (batch layer), ``"capture"``:
+    #: ``"warm"``/``"cold"`` (trace cache) — so aggregate values by key,
+    #: not by summing the dict
     phase_seconds: dict = field(default_factory=dict)
     #: OmniSim only: the simulation graph and recorded constraints,
     #: enabling incremental re-simulation
@@ -68,6 +72,10 @@ class SimulationResult:
     constraints: list = field(default_factory=list)
     #: OmniSim only: FIFO channels keyed by name (the R/W timing tables)
     fifo_channels: dict = field(default_factory=dict)
+    #: OmniSim only: the columnar :class:`~repro.trace.TraceArtifact` —
+    #: the flat, picklable, cacheable form of the capture (preferred
+    #: replay handle; carries its CSR static edges across processes)
+    trace: object = None
 
     @property
     def total_seconds(self) -> float:
@@ -94,17 +102,25 @@ class SimulationResult:
 def portable_reference(result: SimulationResult) -> SimulationResult:
     """Strip a captured run down to what incremental replay needs.
 
-    Keeps the graph, constraints and FIFO channels; drops functional
-    outputs and stats so the pickle shipped to ``repro.dse`` pool
-    workers stays small.  (``Session.run_many`` workers intentionally
-    ship the *full* baseline instead: incrementally served batch results
-    inherit its scalars/buffers, which this strips.)
+    The columnar trace artifact is all a replay needs, so it ships
+    alone (built here from the graph if no replay has derived it yet;
+    its CSR static-edge columns travel with it, so pool workers never
+    rebuild them).  Results with no replay state ship the object graph
+    + constraints + FIFO channels as before.  Functional outputs and
+    stats are dropped either way so the pickle shipped to ``repro.dse``
+    pool workers stays small.  (``Session.run_many`` workers
+    intentionally ship the *full* baseline instead: incrementally served
+    batch results inherit its scalars/buffers, which this strips.)
     """
+    from ..trace.columnar import replay_trace
+
+    has_trace = replay_trace(result) is not None
     return SimulationResult(
         design_name=result.design_name,
         simulator=result.simulator,
         cycles=result.cycles,
-        graph=result.graph,
-        constraints=result.constraints,
-        fifo_channels=result.fifo_channels,
+        graph=None if has_trace else result.graph,
+        constraints=[] if has_trace else result.constraints,
+        fifo_channels={} if has_trace else result.fifo_channels,
+        trace=result.trace,
     )

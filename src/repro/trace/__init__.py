@@ -1,0 +1,51 @@
+"""``repro.trace`` — the columnar, content-addressed trace-artifact layer.
+
+The captured trace is the central artifact of the whole system ("capture
+once at C speed, resimulate cheaply at RTL accuracy"); this package
+makes it a first-class object shared by every producer and consumer:
+
+* :class:`TraceArtifact` (:mod:`.columnar`) — flat struct-of-arrays
+  trace with CSR static edges and the all-depth topological order built
+  once and shipped with the artifact (pool workers never rebuild them),
+  plus columnar ``retime``/``resimulate`` that are bit-for-bit equal to
+  the object-graph path;
+* :class:`TraceStore` (:mod:`.store`) — schema-versioned, checksummed
+  binary serialization and a content-addressed on-disk cache keyed by
+  (design fingerprint, params, executor, schema version), so repeat
+  ``Session``/CLI/DSE invocations skip recapture across processes.
+
+Every OmniSim run attaches an artifact (``result.trace``);
+``Session(trace_cache=…)`` / ``repro … --trace-cache`` /
+``REPRO_TRACE_CACHE`` turn on the disk cache; ``repro trace
+info|verify|gc`` manage it.
+"""
+
+from .columnar import CONSTRAINT_KINDS, TraceArtifact, replay_trace
+from .store import (
+    ENV_VAR,
+    SCHEMA_VERSION,
+    CacheEntry,
+    TraceStore,
+    artifact_digest,
+    default_cache_dir,
+    design_fingerprint,
+    dumps_artifact,
+    loads_artifact,
+    resolve_store,
+)
+
+__all__ = [
+    "CONSTRAINT_KINDS",
+    "CacheEntry",
+    "ENV_VAR",
+    "SCHEMA_VERSION",
+    "TraceArtifact",
+    "TraceStore",
+    "artifact_digest",
+    "default_cache_dir",
+    "design_fingerprint",
+    "dumps_artifact",
+    "loads_artifact",
+    "replay_trace",
+    "resolve_store",
+]

@@ -1,0 +1,439 @@
+"""Versioned trace serialization + the content-addressed on-disk cache.
+
+The binary format (one :class:`~repro.trace.columnar.TraceArtifact` per
+file, extension ``.trace``)::
+
+    magic   b"RTRC"                       (4 bytes)
+    version u32 little-endian             (schema; see SCHEMA_VERSION)
+    sha256  of everything after it        (32 bytes — corruption guard)
+    hlen    u64 little-endian             (header length)
+    header  JSON                          (meta + column manifest)
+    payload raw little-endian int64 column bytes, manifest order
+
+Every load verifies magic, schema version and checksum before touching
+the payload; any mismatch raises :class:`~repro.errors.TraceFormatError`
+and the cache treats the file as a miss (fresh capture with a warning —
+a poisoned cache must never crash or serve stale data).
+
+The cache itself (:class:`TraceStore`) is content-addressed: the file
+name is :func:`artifact_digest` — a SHA-256 over the *design
+fingerprint* (source bytes of the registry builder module or of the DSL
+spec file), the builder params, the Func Sim executor and the schema
+version.  Editing the design source, changing a parameter or executor,
+or bumping the schema therefore lands on a new key; stale entries are
+never read, only garbage-collected.  Ad-hoc designs (``("compiled",
+...)`` references) have no stable fingerprint and are simply not cached.
+
+Default location: ``~/.cache/repro-trace`` (``$XDG_CACHE_HOME``
+honoured), overridable via the ``REPRO_TRACE_CACHE`` environment
+variable or the ``--trace-cache`` CLI flag / ``Session(trace_cache=…)``
+argument.  Caching is **opt-in**: with no env var and no explicit
+setting, nothing touches the disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import sys
+import time as _time
+import warnings
+from array import array
+from dataclasses import dataclass
+
+from ..errors import TraceFormatError
+from .columnar import TraceArtifact
+
+#: bump on ANY change to the columnar layout or the header schema; old
+#: files then fail the version check and fall back to fresh capture.
+SCHEMA_VERSION = 1
+
+MAGIC = b"RTRC"
+_HEAD = struct.Struct("<4sI32sQ")  # magic, version, sha256, header len
+
+#: environment variable controlling the cache: a directory path enables
+#: it there; "1"/"on"/"true"/"yes" enables the default directory;
+#: "0"/"off"/"false"/"no"/"" disables; unset = disabled.
+ENV_VAR = "REPRO_TRACE_CACHE"
+
+_ENV_OFF = ("", "0", "off", "false", "no")
+_ENV_ON = ("1", "on", "true", "yes")
+
+
+# ---------------------------------------------------------------------------
+# binary serialization
+
+
+def dumps_artifact(artifact: TraceArtifact) -> bytes:
+    """Serialize an artifact (static columns included if built).
+
+    Raises ``TypeError``/``ValueError`` when the functional payload is
+    not JSON-serializable (exotic scalar types from hand-built designs);
+    callers treat that artifact as uncacheable.
+    """
+    manifest = []
+    payload_parts = []
+    for name, col in artifact.columns():
+        manifest.append([name, len(col)])
+        payload_parts.append(_le64(col))
+    header = json.dumps({
+        "meta": artifact.meta_dict(),
+        "columns": manifest,
+    }, sort_keys=True).encode("utf-8")
+    payload = b"".join(payload_parts)
+    body = header + payload
+    digest = hashlib.sha256(body).digest()
+    return _HEAD.pack(MAGIC, SCHEMA_VERSION, digest, len(header)) + body
+
+
+def loads_artifact(data: bytes) -> TraceArtifact:
+    """Inverse of :func:`dumps_artifact`; raises
+    :class:`~repro.errors.TraceFormatError` on any malformed input."""
+    if len(data) < _HEAD.size:
+        raise TraceFormatError(
+            f"truncated trace artifact ({len(data)} bytes)"
+        )
+    magic, version, digest, hlen = _HEAD.unpack_from(data)
+    if magic != MAGIC:
+        raise TraceFormatError("not a trace artifact (bad magic)")
+    if version != SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace schema version {version} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    body = data[_HEAD.size:]
+    if hashlib.sha256(body).digest() != digest:
+        raise TraceFormatError("trace artifact checksum mismatch")
+    if hlen > len(body):
+        raise TraceFormatError("trace artifact header overruns the file")
+    try:
+        header = json.loads(body[:hlen].decode("utf-8"))
+        manifest = header["columns"]
+        meta = header["meta"]
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"malformed trace header: {exc}") from None
+    columns: dict[str, array] = {}
+    cursor = hlen
+    for entry in manifest:
+        name, count = entry[0], int(entry[1])
+        nbytes = count * 8
+        chunk = body[cursor:cursor + nbytes]
+        if len(chunk) != nbytes:
+            raise TraceFormatError(
+                f"trace artifact payload truncated at column {name!r}"
+            )
+        columns[name] = _from_le64(chunk)
+        cursor += nbytes
+    try:
+        return TraceArtifact.from_serial(meta, columns)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"trace artifact schema mismatch: {exc}"
+        ) from None
+
+
+def read_header_file(path) -> dict:
+    """Header (meta + column manifest) of a serialized artifact straight
+    from disk, reading only the fixed head plus the JSON header bytes —
+    listing a cache of multi-MiB artifacts (``repro trace info``) must
+    not load their payloads.  Does NOT verify the checksum
+    (``verify``/``get`` do)."""
+    with open(path, "rb") as fh:
+        head = fh.read(_HEAD.size)
+        if len(head) < _HEAD.size:
+            raise TraceFormatError("truncated trace artifact")
+        magic, version, _digest, hlen = _HEAD.unpack(head)
+        if magic != MAGIC:
+            raise TraceFormatError("not a trace artifact (bad magic)")
+        if version != SCHEMA_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace schema version {version}"
+            )
+        blob = fh.read(hlen)
+    if len(blob) < hlen:
+        raise TraceFormatError("trace artifact header overruns the file")
+    try:
+        return json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"malformed trace header: {exc}") from None
+
+
+def _le64(col: array) -> bytes:
+    if sys.byteorder == "little":
+        return col.tobytes()
+    clone = array("q", col)
+    clone.byteswap()
+    return clone.tobytes()
+
+
+def _from_le64(chunk: bytes) -> array:
+    col = array("q")
+    col.frombytes(chunk)
+    if sys.byteorder != "little":
+        col.byteswap()
+    return col
+
+
+# ---------------------------------------------------------------------------
+# cache keys
+
+
+def design_fingerprint(design_ref) -> bytes | None:
+    """Stable digest of the design *definition* a reference points at.
+
+    Registry references hash the source file of the builder (so editing
+    a design module invalidates its traces); spec-file references hash
+    the spec file's bytes.  ``("compiled", ...)`` and unknown reference
+    forms return ``None`` — not cacheable.
+    """
+    tag = design_ref[0]
+    if tag == "registry":
+        _tag, name, _params = design_ref
+        import inspect
+
+        from ..designs import registry
+
+        try:
+            spec = registry.get(name)
+            path = inspect.getsourcefile(spec.build)
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except (KeyError, TypeError, OSError):
+            return None
+        ident = f"registry:{spec.name}"
+    elif tag == "specfile":
+        _tag, path, _params = design_ref
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        ident = "specfile"
+    else:
+        return None
+    h = hashlib.sha256()
+    h.update(ident.encode("utf-8"))
+    h.update(b"\0")
+    h.update(blob)
+    return h.digest()
+
+
+def artifact_digest(design_ref, executor: str) -> str | None:
+    """Content-address of one baseline capture:
+    ``sha256(schema, repro version, design fingerprint, params,
+    executor)`` — or ``None`` when the design is not fingerprintable."""
+    fingerprint = design_fingerprint(design_ref)
+    if fingerprint is None:
+        return None
+    from .. import __version__
+
+    params = design_ref[2]
+    h = hashlib.sha256()
+    h.update(
+        f"schema={SCHEMA_VERSION};repro={__version__};"
+        f"executor={executor};params={sorted(params.items())!r};"
+        .encode("utf-8")
+    )
+    h.update(fingerprint)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the on-disk store
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached artifact file, as listed by ``TraceStore.entries``."""
+
+    digest: str
+    path: str
+    size: int
+    mtime: float
+
+
+class TraceStore:
+    """Content-addressed directory of serialized trace artifacts."""
+
+    SUFFIX = ".trace"
+
+    def __init__(self, root):
+        self.root = os.path.abspath(os.path.expanduser(os.fspath(root)))
+
+    def path(self, digest: str) -> str:
+        return os.path.join(self.root, digest + self.SUFFIX)
+
+    def contains(self, digest: str) -> bool:
+        return os.path.exists(self.path(digest))
+
+    def get(self, digest: str) -> TraceArtifact | None:
+        """Load a cached artifact; ``None`` on miss OR on any corrupt /
+        unreadable / wrong-schema file (with a warning — the caller
+        falls back to fresh capture; the bad file is removed so the
+        next capture rewrites it)."""
+        path = self.path(digest)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            warnings.warn(
+                f"trace cache: cannot read {path}: {exc}; re-capturing",
+                RuntimeWarning, stacklevel=2,
+            )
+            return None
+        try:
+            return loads_artifact(data)
+        except TraceFormatError as exc:
+            warnings.warn(
+                f"trace cache: discarding {os.path.basename(path)} "
+                f"({exc}); re-capturing",
+                RuntimeWarning, stacklevel=2,
+            )
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, digest: str, artifact: TraceArtifact) -> bool:
+        """Serialize ``artifact`` under ``digest`` (atomic write).
+
+        The static columns are built first so warm loads skip the edge
+        build as well as the capture.  Returns ``False`` (with a
+        warning) when the artifact cannot be serialized — e.g. a
+        functional payload that is not JSON-representable."""
+        artifact.ensure_static()
+        try:
+            blob = dumps_artifact(artifact)
+        except (TypeError, ValueError) as exc:
+            warnings.warn(
+                f"trace cache: artifact for {artifact.design_name!r} is "
+                f"not serializable ({exc}); skipping",
+                RuntimeWarning, stacklevel=2,
+            )
+            return False
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self.path(digest) + f".tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, self.path(digest))
+        except OSError as exc:
+            warnings.warn(
+                f"trace cache: cannot write under {self.root}: {exc}",
+                RuntimeWarning, stacklevel=2,
+            )
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def entries(self) -> list[CacheEntry]:
+        """Every cached artifact, newest first."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            if not name.endswith(self.SUFFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            out.append(CacheEntry(
+                digest=name[:-len(self.SUFFIX)], path=path,
+                size=st.st_size, mtime=st.st_mtime,
+            ))
+        out.sort(key=lambda e: e.mtime, reverse=True)
+        return out
+
+    def verify(self, prune: bool = False):
+        """Full checksum/schema check of every entry.
+
+        Returns ``(ok, corrupt)`` lists of ``(entry, detail)`` pairs;
+        ``prune=True`` deletes the corrupt files."""
+        ok, corrupt = [], []
+        for entry in self.entries():
+            try:
+                with open(entry.path, "rb") as fh:
+                    artifact = loads_artifact(fh.read())
+                ok.append((entry, artifact.design_name))
+            except (TraceFormatError, OSError) as exc:
+                corrupt.append((entry, str(exc)))
+                if prune:
+                    try:
+                        os.unlink(entry.path)
+                    except OSError:
+                        pass
+        return ok, corrupt
+
+    def gc(self, older_than_days: float | None = None):
+        """Delete cached artifacts (all of them, or only those older
+        than ``older_than_days``).  Returns ``(count, bytes)`` removed.
+
+        Safe at any time: entries are pure derived state — the next
+        capture rebuilds and re-caches them.
+        """
+        cutoff = (None if older_than_days is None
+                  else _time.time() - older_than_days * 86400.0)
+        removed = 0
+        reclaimed = 0
+        for entry in self.entries():
+            if cutoff is not None and entry.mtime >= cutoff:
+                continue
+            try:
+                os.unlink(entry.path)
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += entry.size
+        return removed, reclaimed
+
+
+# ---------------------------------------------------------------------------
+# resolution
+
+
+def default_cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-trace")
+
+
+def resolve_store(setting=None, *, fallback: bool = False
+                  ) -> TraceStore | None:
+    """Turn a user-facing cache setting into a :class:`TraceStore`.
+
+    ``setting`` may be ``None`` (consult :data:`ENV_VAR`; disabled when
+    unset unless ``fallback=True``, which the ``repro trace`` management
+    commands use to default to the standard directory), ``False``
+    (explicitly disabled), ``True`` (default directory), a directory
+    path, or an existing :class:`TraceStore`.
+    """
+    if setting is None:
+        env = os.environ.get(ENV_VAR)
+        if env is None:
+            return TraceStore(default_cache_dir()) if fallback else None
+        low = env.strip().lower()
+        if low in _ENV_OFF:
+            return None
+        if low in _ENV_ON:
+            return TraceStore(default_cache_dir())
+        return TraceStore(env)
+    if setting is False:
+        return None
+    if setting is True:
+        return TraceStore(default_cache_dir())
+    if isinstance(setting, TraceStore):
+        return setting
+    return TraceStore(setting)

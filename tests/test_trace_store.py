@@ -1,0 +1,374 @@
+"""Trace-store tests: warm/cold baselines, cache-poisoning safety, CLI.
+
+The poisoning contract (ISSUE 5 satellite): a truncated / bit-flipped /
+wrong-magic / wrong-schema artifact file must fall back to fresh capture
+with a warning — never crash, never serve stale results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro import cli
+from repro.api import Session
+from repro.errors import TraceFormatError
+from repro.trace import (
+    TraceStore,
+    dumps_artifact,
+    loads_artifact,
+    resolve_store,
+)
+from repro.trace.store import MAGIC, SCHEMA_VERSION
+
+
+@pytest.fixture
+def warm_store(tmp_path):
+    """A store holding one cold-captured fig4_ex5 baseline; returns
+    (store, digest, cold_session)."""
+    session = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+    base = session.baseline()
+    assert base.phase_seconds["capture"] == "cold"
+    digest = session.trace_digest()
+    store = session.trace_store
+    assert store.contains(digest)
+    return store, digest, session
+
+
+class TestWarmBaseline:
+    def test_second_session_loads_warm(self, warm_store, tmp_path):
+        store, digest, cold = warm_store
+        warm = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+        base = warm.baseline()
+        assert base.phase_seconds["capture"] == "warm"
+        # warm baselines carry the artifact, not the object graph
+        assert base.graph is None and base.trace is not None
+        cold_base = cold.baseline()
+        assert base.cycles == cold_base.cycles
+        assert base.scalars == cold_base.scalars
+        assert base.module_end_times == cold_base.module_end_times
+        # and replays identically
+        assert (warm.resimulate({"fifo2": 5}).cycles
+                == cold.resimulate({"fifo2": 5}).cycles)
+
+    def test_warm_baseline_surfaces_base_depths(self, warm_store,
+                                                tmp_path):
+        # The documented consumer pattern {n: ch.depth for ...} must
+        # work on warm baselines even though the timing tables live in
+        # the artifact columns.
+        warm = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+        base = warm.baseline()
+        cold_base = warm_store[2].baseline()
+        assert ({n: ch.depth for n, ch in base.fifo_channels.items()}
+                == {n: ch.depth
+                    for n, ch in cold_base.fifo_channels.items()})
+
+    def test_warm_paths_never_compile(self, warm_store, tmp_path,
+                                      monkeypatch):
+        # A warm hit must skip compilation entirely — including depth
+        # validation in resimulate() and the parent side of a sweep.
+        from repro.api import design_ref
+        from repro.dse import explore
+        from repro.errors import UnknownFifoError
+
+        def boom(*_a, **_k):
+            raise AssertionError("warm path compiled the design")
+
+        monkeypatch.setattr(design_ref, "compile_design", boom)
+        session = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+        assert session.baseline().phase_seconds["capture"] == "warm"
+        assert session.resimulate({"fifo2": 5}).cycles > 0
+        with pytest.raises(UnknownFifoError):
+            session.resimulate({"bogus": 5})
+        assert session._compiled is None
+        sweep = explore("fig4_ex5", ["fifo2=2:4"],
+                        params={"n": 120}, trace_cache=tmp_path)
+        assert sweep.capture == "warm"
+        assert sweep.incremental_count == sweep.evaluated
+        assert sweep.base_depths  # from the artifact's declared map
+
+    def test_param_change_misses(self, warm_store, tmp_path):
+        other = Session.open("fig4_ex5", n=121, trace_cache=tmp_path)
+        assert other.baseline().phase_seconds["capture"] == "cold"
+
+    def test_executor_keys_are_separate(self, warm_store, tmp_path):
+        session = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+        assert (session.baseline(executor="interp")
+                .phase_seconds["capture"] == "cold")
+        assert (session.baseline(executor="compiled")
+                .phase_seconds["capture"] == "warm")
+
+    def test_refresh_recaptures_and_rewrites(self, warm_store, tmp_path):
+        store, digest, _cold = warm_store
+        before = os.path.getmtime(store.path(digest))
+        session = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+        base = session.baseline(refresh=True)
+        assert base.phase_seconds["capture"] == "cold"
+        assert os.path.getmtime(store.path(digest)) >= before
+
+    def test_disabled_by_default(self):
+        assert Session.open("fig4_ex5", n=120).trace_store is None
+
+
+class TestPoisoningSafety:
+    """Corrupt cache files degrade to a warned fresh capture."""
+
+    def _corrupt_then_capture(self, store, digest, tmp_path, mutate):
+        path = store.path(digest)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(mutate(data))
+        with pytest.warns(RuntimeWarning, match="trace cache"):
+            session = Session.open("fig4_ex5", n=120,
+                                   trace_cache=tmp_path)
+            base = session.baseline()
+        assert base.phase_seconds["capture"] == "cold"
+        assert base.cycles > 0
+        # the capture rewrote a valid entry: next load is warm again
+        again = Session.open("fig4_ex5", n=120, trace_cache=tmp_path)
+        assert again.baseline().phase_seconds["capture"] == "warm"
+
+    def test_truncated_file(self, warm_store, tmp_path):
+        store, digest, _ = warm_store
+        self._corrupt_then_capture(store, digest, tmp_path,
+                                   lambda d: d[:len(d) // 2])
+
+    def test_bit_flip_fails_checksum(self, warm_store, tmp_path):
+        store, digest, _ = warm_store
+
+        def flip(data):
+            i = len(data) - 7  # payload byte, well past the header
+            return data[:i] + bytes([data[i] ^ 0x40]) + data[i + 1:]
+
+        self._corrupt_then_capture(store, digest, tmp_path, flip)
+
+    def test_bad_magic(self, warm_store, tmp_path):
+        store, digest, _ = warm_store
+        self._corrupt_then_capture(store, digest, tmp_path,
+                                   lambda d: b"NOPE" + d[4:])
+
+    def test_unknown_schema_version(self, warm_store, tmp_path):
+        store, digest, _ = warm_store
+
+        def bump(data):
+            return (data[:4] + struct.pack("<I", SCHEMA_VERSION + 99)
+                    + data[8:])
+
+        self._corrupt_then_capture(store, digest, tmp_path, bump)
+
+    def test_corrupt_file_is_removed_on_load(self, warm_store, tmp_path):
+        store, digest, _ = warm_store
+        path = store.path(digest)
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            assert store.get(digest) is None
+        assert not os.path.exists(path)
+
+    def test_loads_artifact_raises_typed_error(self, warm_store):
+        store, digest, _ = warm_store
+        with open(store.path(digest), "rb") as fh:
+            data = fh.read()
+        assert loads_artifact(data).design_name == "fig4_ex5"
+        for bad in (b"", data[:10], b"XXXX" + data[4:],
+                    data[:40] + bytes([data[40] ^ 1]) + data[41:]):
+            with pytest.raises(TraceFormatError):
+                loads_artifact(bad)
+        assert data[:4] == MAGIC
+
+
+class TestStoreManagement:
+    def test_entries_verify_gc(self, warm_store):
+        store, digest, session = warm_store
+        entries = store.entries()
+        assert [e.digest for e in entries] == [digest]
+        ok, corrupt = store.verify()
+        assert len(ok) == 1 and not corrupt
+        removed, reclaimed = store.gc()
+        assert removed == 1 and reclaimed > 0
+        assert store.entries() == []
+
+    def test_verify_prune_removes_corrupt(self, warm_store):
+        store, digest, _ = warm_store
+        with open(store.path(digest), "ab") as fh:
+            fh.write(b"tail garbage")
+        ok, corrupt = store.verify(prune=True)
+        assert not ok and len(corrupt) == 1
+        assert store.entries() == []
+
+    def test_gc_older_than_keeps_recent(self, warm_store):
+        store, digest, _ = warm_store
+        removed, _ = store.gc(older_than_days=1)
+        assert removed == 0
+        assert store.contains(digest)
+
+    def test_resolve_store_settings(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+        assert resolve_store(tmp_path).root == str(tmp_path)
+        assert resolve_store(None, fallback=True) is not None
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        assert resolve_store(None).root == str(tmp_path)
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert resolve_store(None) is None
+        assert resolve_store(tmp_path) is not None  # explicit wins
+
+    def test_round_trip_via_plain_bytes(self, warm_store):
+        store, digest, session = warm_store
+        art = session.baseline().trace
+        assert loads_artifact(dumps_artifact(art)).depths == art.depths
+
+
+#: a design that deadlocks at its *declared* depths (the writer bursts
+#: 8 items into a depth-2 FIFO before the reader is released) but runs
+#: fine under `--depth q=8` — the cmd_run trace-serving path must let
+#: the override decide instead of dying on the baseline capture.
+_BURST_SPEC = """\
+design: burst_gate
+type: A
+description: two-phase burst that deadlocks at declared depths
+fifos:
+  - name: q
+    type: i32
+    depth: 2
+  - name: go
+    type: i32
+    depth: 1
+buffers: []
+scalars:
+  - name: total
+    type: i32
+modules:
+  - name: burst_src
+    source: |
+      def burst_src(q: hls.StreamOut(hls.i32),
+                    go: hls.StreamOut(hls.i32)):
+          for i in range(8):
+              hls.pipeline(ii=1)
+              q.write(i)
+          go.write(1)
+    binds: {q: q, go: go}
+  - name: burst_sink
+    source: |
+      def burst_sink(q: hls.StreamIn(hls.i32),
+                     go: hls.StreamIn(hls.i32),
+                     total: hls.ScalarOut(hls.i32)):
+          t = go.read()
+          acc = 0
+          for i in range(8):
+              hls.pipeline(ii=1)
+              acc += q.read()
+          total.set(acc + t)
+    binds: {q: q, go: go, total: total}
+"""
+
+
+class TestCli:
+    def test_run_twice_serves_warm(self, tmp_path, capsys):
+        argv = ["run", "fig4_ex3", "--trace-cache", str(tmp_path)]
+        assert cli.main(argv) == 0
+        assert "cold-capture baseline" in capsys.readouterr().out
+        assert cli.main(argv) == 0
+        assert "warm-capture baseline" in capsys.readouterr().out
+
+    def test_depth_override_rescues_deadlocked_baseline(self, tmp_path,
+                                                        capsys):
+        spec = tmp_path / "burst.yaml"
+        spec.write_text(_BURST_SPEC)
+        cache = str(tmp_path / "cache")
+        # declared depths truly deadlock (with or without the cache)
+        assert cli.main(["run", str(spec)]) == 2
+        capsys.readouterr()
+        # the cached-baseline fast path must not turn a valid override
+        # into a spurious deadlock: the full run at q=8 decides
+        assert cli.main(["run", str(spec), "--depth", "q=8",
+                         "--trace-cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "total = 29" in out  # 0+..+7 + the go token
+        assert cli.main(["run", str(spec), "--trace-cache", cache]) == 2
+
+    def test_trace_info_verify_gc(self, warm_store, tmp_path, capsys):
+        d = str(tmp_path)
+        assert cli.main(["trace", "info", "--cache-dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_ex5" in out and "1 artifact(s)" in out
+        assert cli.main(["trace", "verify", "--cache-dir", d]) == 0
+        assert "1 ok, 0 corrupt" in capsys.readouterr().out
+        assert cli.main(["trace", "gc", "--cache-dir", d]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+        assert cli.main(["trace", "info", "--cache-dir", d]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_trace_verify_exit_code_on_corrupt(self, warm_store,
+                                               tmp_path, capsys):
+        store, digest, _ = warm_store
+        with open(store.path(digest), "wb") as fh:
+            fh.write(b"junk")
+        d = str(tmp_path)
+        assert cli.main(["trace", "verify", "--cache-dir", d]) == 1
+        capsys.readouterr()
+        assert cli.main(["trace", "verify", "--cache-dir", d,
+                         "--prune"]) == 0
+        capsys.readouterr()
+
+
+class TestDseWarmCapture:
+    def test_sweep_warm_second_run_and_digest_shipping(self, tmp_path):
+        from repro.dse import explore
+
+        kwargs = dict(params={"n": 64}, jobs=2,
+                      trace_cache=str(tmp_path))
+        cold = explore("vector_add_stream", ["sc=1:4"], **kwargs)
+        warm = explore("vector_add_stream", ["sc=1:4"], **kwargs)
+        assert cold.capture == "cold"
+        assert warm.capture == "warm"
+        assert ([p.cycles for p in cold.points]
+                == [p.cycles for p in warm.points])
+        assert warm.incremental_count == warm.evaluated
+        blob = json.loads(json.dumps(warm.to_json()))
+        assert blob["capture"] == "warm"
+
+    def test_session_trace_cache_conflict_rejected(self, tmp_path):
+        from repro.dse import explore
+
+        session = Session.open("fig4_ex5", n=120)
+        with pytest.raises(TypeError):
+            explore(session, ["fifo2=1:2"], trace_cache=str(tmp_path))
+
+
+class TestBenchHermetic:
+    def test_bench_ignores_env_trace_cache(self, tmp_path, monkeypatch):
+        # The bench harness must measure real captures even when the
+        # caller's environment enables the cache (warm baselines carry
+        # no object graph, which bench_retime needs).
+        from repro import bench
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        Session.open("fig4_ex5", n=100).baseline()  # pre-warm the dir
+        entry = bench.bench_retime("fig4_ex5", {"n": 100}, "fifo2",
+                                   range(3, 6))
+        assert entry["configs"] == 3
+        entry = bench.bench_trace("fig4_ex5", {"n": 100}, "fifo2",
+                                  range(3, 6), repeats=1)
+        assert entry["warm_speedup"] > 0
+
+
+class TestBatchStripping:
+    def test_run_many_strips_trace_by_default(self):
+        session = Session.open("fig4_ex5", n=120)
+        batch = session.run_many([{"depths": {"fifo2": d}}
+                                  for d in (2, 3, 4, 5)], jobs=2)
+        assert all(r.trace is None and r.graph is None for r in batch)
+        # the session's own baseline keeps its replay state
+        assert session.baseline().trace is not None
+
+    def test_keep_graphs_attaches_trace(self):
+        session = Session.open("fig4_ex5", n=120)
+        batch = session.run_many([{"depths": {"fifo2": 4}}],
+                                 keep_graphs=True)
+        assert batch[0].trace is not None
