@@ -4,9 +4,10 @@ every checked-in example spec must parse and simulate.
 
 Three checks (run one by name, or all by default):
 
-* ``quickstart`` — extract every ``python -m repro ...`` line from the
-  README's fenced ``bash`` blocks and execute it (so the CLI quickstart
-  can never drift from the CLI);
+* ``quickstart`` — extract every ``python -m repro ...`` line (plus the
+  ``rm -f /tmp/...`` lines that reset demo state) from the README's
+  fenced ``bash`` blocks and execute it (so the CLI quickstart can
+  never drift from the CLI);
 * ``api`` — extract the README's fenced ``python`` blocks (the
   ``repro.api`` quickstart) and execute them (so the programmatic
   quickstart can never drift from the API);
@@ -45,7 +46,7 @@ def quickstart_commands() -> list:
     for block in FENCE.findall(readme):
         for line in block.splitlines():
             line = line.strip()
-            if line.startswith("python -m repro"):
+            if line.startswith(("python -m repro", "rm -f /tmp/")):
                 commands.append(line)
     return commands
 

@@ -36,7 +36,7 @@ from ..sim.registry import (
     register_engine,
 )
 from ..sim.result import SimulationResult
-from .batch import run_many
+from .batch import BatchResult, run_many
 from .design_ref import compile_from_ref, resolve_design
 from .session import Session
 
@@ -44,6 +44,7 @@ from .session import Session
 #: snapshots this list (plus the registered engine names): additions are
 #: reviewed API growth, removals/renames are breaking changes.
 __all__ = [
+    "BatchResult",
     "Engine",
     "EngineInfo",
     "Session",

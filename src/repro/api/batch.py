@@ -33,15 +33,27 @@ interactive debugging.
 
 Results come back **in config order**.  Each result's
 ``phase_seconds["serving"]`` records which path produced it
-(``"incremental"`` or ``"full"``).  By default the recorded simulation
-graph / constraints / FIFO channel tables are stripped from returned
-results (``keep_graphs=False``): they dominate pickle size (~250 KB per
-typea run) and batch callers want numbers, not replay state.
+(``"incremental"``, ``"full"``, or ``"quarantined"``).  By default the
+recorded simulation graph / constraints / FIFO channel tables are
+stripped from returned results (``keep_graphs=False``): they dominate
+pickle size (~250 KB per typea run) and batch callers want numbers, not
+replay state.
+
+Both execution paths run under the supervised executor
+(:mod:`repro.exec`): worker crashes respawn the pool and retry with
+backoff, hung chunks die at the ``timeout`` deadline, a config that
+keeps failing alone is quarantined as a result with ``.failure`` set,
+and ``checkpoint=``/``resume=`` journal completed configs so an
+interrupted batch re-runs only what is missing.  The returned
+:class:`BatchResult` (a plain ``list`` of results) carries the
+``supervision`` provenance block.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import pickle
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
@@ -52,9 +64,11 @@ from ..errors import (
     SimulationError,
     UnsupportedDesignError,
 )
+from ..exec.supervisor import chunk_contiguous  # noqa: F401  (re-export;
+#   historical home of this helper — tests and callers import it here)
 from ..sim.incremental import resimulate
 from ..sim.registry import get_engine, run_engine, validate_depths
-from ..sim.result import SimulationResult
+from ..sim.result import SimulationResult, SimulationStats
 from .design_ref import compile_from_ref
 
 #: config keys consumed by the batch layer itself; everything else in a
@@ -239,39 +253,79 @@ class _BatchRunner:
 # the design reference + baseline shipped via the initializer.
 
 _WORKER_RUNNER: _BatchRunner | None = None
+_WORKER_KEEP_GRAPHS = False
 
 
-def _init_worker(design_ref, base_depths, baseline) -> None:
-    global _WORKER_RUNNER
+def _init_worker(design_ref, base_depths, baseline,
+                 keep_graphs: bool = False) -> None:
+    global _WORKER_RUNNER, _WORKER_KEEP_GRAPHS
     _WORKER_RUNNER = _BatchRunner(
         lambda: compile_from_ref(design_ref), base_depths, baseline
     )
+    _WORKER_KEEP_GRAPHS = keep_graphs
 
 
-def _run_chunk(payload) -> list:
-    configs, keep_graphs = payload
-    return [_WORKER_RUNNER.run_config(config, keep_graphs)
-            for config in configs]
+def _run_chunk(wire) -> list:
+    """Supervised wire format: ``[(config, fault_directive), ...]``."""
+    from ..exec.faults import apply_fault
+
+    results = []
+    for config, directive in wire:
+        if directive is not None:
+            apply_fault(directive)
+        results.append(_WORKER_RUNNER.run_config(config,
+                                                 _WORKER_KEEP_GRAPHS))
+    return results
 
 
-def chunk_contiguous(items: list, pieces: int) -> list:
-    """Split into at most ``pieces`` contiguous runs of near-equal size
-    (contiguity preserves config-list locality within one worker)."""
-    pieces = max(1, min(pieces, len(items)))
-    size, rem = divmod(len(items), pieces)
-    chunks, cursor = [], 0
-    for i in range(pieces):
-        step = size + (1 if i < rem else 0)
-        chunks.append(items[cursor:cursor + step])
-        cursor += step
-    return chunks
+# ---------------------------------------------------------------------------
+# checkpoint journaling: a stripped SimulationResult is JSON-shaped (the
+# heavy replay state never journals), so completed configs round-trip
+# through the append-only journal losslessly.
+
+_REPLAY_FIELDS = ("graph", "constraints", "fifo_channels", "trace")
+
+
+def _result_to_json(result: SimulationResult) -> dict:
+    doc = {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+        if f.name not in _REPLAY_FIELDS and f.name != "stats"
+    }
+    doc["stats"] = dataclasses.asdict(result.stats)
+    return doc
+
+
+def _result_from_json(doc: dict) -> SimulationResult:
+    doc = dict(doc)
+    stats = SimulationStats(**doc.pop("stats", {}))
+    return SimulationResult(stats=stats, **doc)
+
+
+def _config_key(index: int, normalized: dict) -> str:
+    """Journal key for one config: position + content fingerprint (the
+    same config may legitimately appear twice in a batch)."""
+    canonical = json.dumps(normalized, sort_keys=True, default=repr)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return f"{index}:{digest}"
+
+
+class BatchResult(list):
+    """``run_many``'s return value: results in config order (a plain
+    ``list``), plus the supervised-execution provenance block
+    (:class:`repro.exec.SupervisionReport` JSON with ``resumed`` /
+    ``checkpoint`` merged in; ``None`` only on the empty batch)."""
+
+    supervision: dict | None = None
 
 
 # ---------------------------------------------------------------------------
 
 
 def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
-             keep_graphs: bool = False) -> list:
+             keep_graphs: bool = False, timeout: float | None = None,
+             max_retries: int = 3, checkpoint=None, resume: bool = False,
+             faults=None) -> BatchResult:
     """Evaluate ``configs`` against ``session``'s design (see
     :meth:`repro.api.Session.run_many` for the config schema).
 
@@ -282,11 +336,37 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
     (unpicklable ``@hls.kernel`` closures under spawn-style start
     methods) degrade to in-process evaluation rather than crashing
     platform-dependently.
+
+    Resilience knobs mirror :func:`repro.dse.explore`: ``timeout``
+    (per-chunk wall-clock deadline), ``max_retries`` (failures one
+    config may accrue before being quarantined as a result with
+    ``.failure`` set), ``checkpoint``/``resume`` (append-only journal of
+    completed configs; resuming re-runs only what is missing — requires
+    ``keep_graphs=False``, replay state never journals) and ``faults``
+    (deterministic injection; default: ``REPRO_FAULTS``).  Returns a
+    :class:`BatchResult` whose ``supervision`` attribute is the
+    provenance block.
     """
+    from ..exec import (
+        CheckpointJournal,
+        ExecPolicy,
+        Supervisor,
+        Unit,
+        resolve_plan,
+        run_serial,
+    )
+
+    if checkpoint is not None and keep_graphs:
+        raise ValueError(
+            "run_many(checkpoint=...) requires keep_graphs=False: replay "
+            "state (graphs/constraints/traces) cannot be journaled"
+        )
+    fault_plan = resolve_plan(faults)
+    policy = ExecPolicy(timeout=timeout, max_retries=max_retries)
     compiled = session.compiled
     normalized = [normalize_config(config, compiled) for config in configs]
     if not normalized:
-        return []
+        return BatchResult()
     # Capture (or reuse) the baseline only when some config can actually
     # be served from it.  A design that deadlocks at its declared depths
     # has no baseline to replay; serve every config with a full run and
@@ -308,22 +388,87 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
             pickle.dumps(compiled)
         except Exception:
             jobs = 1
-    if jobs == 1:
-        runner = _BatchRunner(lambda: compiled, base_depths, baseline)
-        return [runner.run_config(config, keep_graphs)
-                for config in normalized]
-    # 4 chunks per worker: balance against stragglers (engines differ
-    # wildly in cost — a cosim run is orders slower than an incremental
-    # replay) while keeping shards contiguous for re-capture locality.
-    chunks = chunk_contiguous(normalized, jobs * 4)
-    shipped = (None if baseline is None
-               else _portable_baseline(baseline, keep_graphs))
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_init_worker,
-        initargs=(session.design_ref, base_depths, shipped),
-    ) as pool:
-        payloads = [(chunk, keep_graphs) for chunk in chunks]
-        return [result
-                for chunk_results in pool.map(_run_chunk, payloads)
-                for result in chunk_results]
+
+    units = [Unit(i, _config_key(i, config), config)
+             for i, config in enumerate(normalized)]
+
+    journal = None
+    restored = {}
+    if checkpoint is not None:
+        identity = {
+            "kind": "run_many",
+            "design": compiled.name,
+            "digest": session.trace_digest(),
+            "configs": hashlib.sha256("\n".join(
+                u.key for u in units).encode("utf-8")).hexdigest()[:16],
+            "count": len(units),
+            "incremental": incremental,
+        }
+        journal, restored = CheckpointJournal.open(checkpoint, identity,
+                                                   resume=resume)
+
+    def quarantined_result(config, detail):
+        return SimulationResult(
+            design_name=compiled.name,
+            simulator=config["engine"],
+            cycles=0,
+            failure=(f"quarantined after {detail['attempts']} attempts: "
+                     f"{detail['reason']}: {detail['message']}"),
+            phase_seconds={"serving": "quarantined"},
+        )
+
+    results_by_index: dict = {}
+    pending = []
+    for unit in units:
+        doc = restored.get(unit.key)
+        if doc is not None:
+            results_by_index[unit.index] = _result_from_json(doc)
+        else:
+            pending.append(unit)
+    resumed = len(units) - len(pending)
+
+    def record(unit, status, value):
+        if journal is None:
+            return
+        result = (value if status == "ok"
+                  else quarantined_result(unit.payload, value))
+        journal.append(unit.key, _result_to_json(result))
+
+    try:
+        if jobs == 1:
+            runner = _BatchRunner(lambda: compiled, base_depths, baseline)
+            results, report = run_serial(
+                pending,
+                lambda config: runner.run_config(config, keep_graphs),
+                policy=policy, fault_plan=fault_plan, record=record,
+            )
+        else:
+            shipped = (None if baseline is None
+                       else _portable_baseline(baseline, keep_graphs))
+            def pool_factory():
+                return ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_init_worker,
+                    initargs=(session.design_ref, base_depths, shipped,
+                              keep_graphs),
+                )
+            supervisor = Supervisor(
+                pool_factory, _run_chunk, jobs=jobs, policy=policy,
+                fault_plan=fault_plan, record=record,
+            )
+            results, report = supervisor.run(pending)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    for index, (status, value) in results.items():
+        results_by_index[index] = (value if status == "ok"
+                                   else quarantined_result(
+                                       normalized[index], value))
+    out = BatchResult(results_by_index[i] for i in range(len(normalized)))
+    supervision = report.to_json()
+    supervision["resumed"] = resumed
+    supervision["checkpoint"] = (str(checkpoint)
+                                 if checkpoint is not None else None)
+    out.supervision = supervision
+    return out

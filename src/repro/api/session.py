@@ -207,7 +207,9 @@ class Session:
         return resimulate(baseline, depths)
 
     def run_many(self, configs, *, jobs: int = 1, incremental: bool = True,
-                 keep_graphs: bool = False) -> list:
+                 keep_graphs: bool = False, timeout: float | None = None,
+                 max_retries: int = 3, checkpoint=None,
+                 resume: bool = False, faults=None) -> list:
         """Run a batch of configurations, optionally over a process pool.
 
         Each config is a dict with optional keys ``engine`` (default
@@ -221,28 +223,46 @@ class Session:
         reuse, not the individual run.  Results come back in config
         order; simulation-level failures (deadlock, unsupported design)
         are returned as results with ``.failure`` set instead of
-        aborting the batch.  See :func:`repro.api.batch.run_many`.
+        aborting the batch.
+
+        Execution is supervised (:mod:`repro.exec`): ``timeout`` bounds
+        each chunk's wall-clock, crashed workers are respawned and their
+        configs retried up to ``max_retries`` times before quarantine,
+        and ``checkpoint``/``resume`` journal completed configs across
+        interruptions.  The returned list's ``supervision`` attribute
+        carries the provenance block.  See
+        :func:`repro.api.batch.run_many`.
         """
         from .batch import run_many
 
         return run_many(self, configs, jobs=jobs, incremental=incremental,
-                        keep_graphs=keep_graphs)
+                        keep_graphs=keep_graphs, timeout=timeout,
+                        max_retries=max_retries, checkpoint=checkpoint,
+                        resume=resume, faults=faults)
 
     def sweep(self, space, *, samples: int | None = None, seed: int = 0,
-              jobs: int = 1, executor: str | None = None):
+              jobs: int = 1, executor: str | None = None,
+              timeout: float | None = None, max_retries: int = 3,
+              checkpoint=None, resume: bool = False, faults=None):
         """Depth-space exploration over this session's design.
 
         ``space`` is a :class:`~repro.dse.DepthSpace` or a list of axis
         specs (``["fifo=1:16"]``).  Delegates to
         :func:`repro.dse.explore`, reusing this session's compiled
         design and cached baseline; returns a
-        :class:`~repro.dse.SweepResult`.
+        :class:`~repro.dse.SweepResult`.  The resilience knobs
+        (``timeout``, ``max_retries``, ``checkpoint``/``resume``,
+        ``faults``) pass through to the supervised executor — see
+        :func:`repro.dse.explore`.
         """
         from ..dse import explore
 
         return explore(self, space, samples=samples, seed=seed, jobs=jobs,
                        executor=(executor if executor is not None
-                                 else self.executor))
+                                 else self.executor),
+                       timeout=timeout, max_retries=max_retries,
+                       checkpoint=checkpoint, resume=resume,
+                       faults=faults)
 
     # -- analysis -------------------------------------------------------
 

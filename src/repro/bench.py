@@ -205,6 +205,21 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
 
     sweep = explore(name, specs, params=params, jobs=1,
                     trace_cache=False)
+
+    # Supervised-executor overhead vs the bare ``pool.map`` path it
+    # replaced: same space, same pool width, best of two runs each (the
+    # first pooled run pays OS page-cache warmup for both modes).  The
+    # budget is <5%; the supervisor's extra work is all parent-side
+    # bookkeeping (deadlines, backoff gates, per-chunk futures).
+    def pooled_seconds(mode: str) -> float:
+        return min(
+            explore(name, specs, params=params, jobs=2,
+                    trace_cache=False, _pool_mode=mode).seconds
+            for _ in range(2)
+        )
+
+    bare = pooled_seconds("bare")
+    supervised = pooled_seconds("supervised")
     return {
         "params": params,
         "space": specs,
@@ -217,6 +232,13 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
         "capture_seconds": round(sweep.capture_seconds, 6),
         "sweep_seconds": round(sweep.seconds, 6),
         "configs_per_sec": round(sweep.configs_per_sec, 1),
+        "supervision": {
+            "jobs": 2,
+            "bare_pool_seconds": round(bare, 6),
+            "supervised_seconds": round(supervised, 6),
+            "overhead_pct": round(100.0 * (supervised - bare)
+                                  / max(bare, 1e-9), 2),
+        },
     }
 
 

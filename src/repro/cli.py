@@ -189,16 +189,25 @@ def cmd_dse(args) -> int:
             "dse needs at least one --range FIFO=LO:HI[:STEP] or "
             "--grid FIFO=V1,V2,..."
         )
+    if args.resume and not args.checkpoint:
+        raise SystemExit("dse --resume requires --checkpoint FILE")
     space = DepthSpace.parse(specs)
     kwargs = dict(samples=args.samples, seed=args.seed, jobs=args.jobs,
-                  executor=args.executor, trace_cache=args.trace_cache)
+                  executor=args.executor, trace_cache=args.trace_cache,
+                  timeout=args.timeout, max_retries=args.max_retries)
     # Directory-sweep mode only when the argument cannot mean a registry
     # design — a stray local directory must not shadow a design name.
     known_name = (args.design in designs.ALIASES
                   or args.design in designs.names())
     if os.path.isdir(args.design) and not known_name:
+        if args.checkpoint:
+            # One journal is keyed to one sweep's identity; a directory
+            # sweep is many sweeps.
+            raise SystemExit("dse --checkpoint applies to a single "
+                             "design sweep, not a spec directory")
         return _dse_directory(args, space, explore_specs, kwargs)
-    sweep = explore(args.design, space, **kwargs)
+    sweep = explore(args.design, space, checkpoint=args.checkpoint,
+                    resume=args.resume, **kwargs)
 
     print(f"design     : {sweep.design}")
     print(f"space      : {', '.join(space.fifos)}"
@@ -210,6 +219,16 @@ def cmd_dse(args) -> int:
     print(f"full resim : {sweep.full_count}")
     if sweep.deadlock_count:
         print(f"deadlocked : {sweep.deadlock_count}")
+    if sweep.quarantined_count:
+        print(f"quarantined: {sweep.quarantined_count}")
+    sup = sweep.supervision or {}
+    if sup.get("resumed"):
+        print(f"resumed    : {sup['resumed']} configs from "
+              f"{sup['checkpoint']}")
+    if sup.get("retries") or sup.get("respawns"):
+        print(f"supervision: {sup['retries']} retries, "
+              f"{sup['respawns']} pool respawns, "
+              f"{sup['timeouts']} timeouts, {sup['crashes']} crashes")
     print(f"base       : cycles={sweep.base_cycles} depths="
           + ",".join(f"{k}={v}" for k, v in sorted(
               sweep.base_depths.items())))
@@ -359,12 +378,38 @@ def cmd_trace(args) -> int:
               + (" (removed)" if args.prune and corrupt else ""))
         return 1 if corrupt and not args.prune else 0
     # gc
-    removed, reclaimed = store.gc(older_than_days=args.older_than)
-    scope = ("all entries" if args.older_than is None
-             else f"entries older than {args.older_than} day(s)")
+    max_bytes = (_parse_size(args.max_bytes)
+                 if args.max_bytes is not None else None)
+    removed, reclaimed = store.gc(older_than_days=args.older_than,
+                                  max_bytes=max_bytes)
+    scopes = []
+    if args.older_than is not None:
+        scopes.append(f"entries older than {args.older_than} day(s)")
+    if max_bytes is not None:
+        scopes.append(f"LRU overflow past {max_bytes} bytes")
+    scope = " + ".join(scopes) if scopes else "all entries"
     print(f"trace cache {store.root}: removed {removed} artifact(s) "
           f"({reclaimed / 1024:.1f} KiB), {scope}")
     return 0
+
+
+def _parse_size(text: str) -> int:
+    """Byte sizes with optional K/M/G suffix (binary units): ``64M``."""
+    text = str(text).strip()
+    scale = 1
+    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    if text and text[-1].lower() in suffixes:
+        scale = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise SystemExit(
+            f"--max-bytes expects N[K|M|G], got {text!r}"
+        ) from None
+    if value < 0:
+        raise SystemExit("--max-bytes must be >= 0")
+    return value * scale
 
 
 def cmd_classify(args) -> int:
@@ -551,6 +596,23 @@ def main(argv=None) -> int:
                                  "baseline (warm capture) and pool "
                                  "workers load it by content digest "
                                  "(REPRO_TRACE_CACHE also enables it)")
+    dse_parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                            help="journal completed configurations to "
+                                 "FILE (append-only JSONL) so an "
+                                 "interrupted sweep can be resumed")
+    dse_parser.add_argument("--resume", action="store_true",
+                            help="resume from an existing --checkpoint "
+                                 "journal: already-completed "
+                                 "configurations are not re-evaluated")
+    dse_parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-chunk wall-clock deadline; hung "
+                                 "workers are killed and their configs "
+                                 "retried (default: no limit)")
+    dse_parser.add_argument("--max-retries", type=int, default=3,
+                            metavar="N",
+                            help="failures one configuration may accrue "
+                                 "before it is quarantined (default 3)")
 
     trace_parser = sub.add_parser(
         "trace", help="inspect / manage the on-disk trace cache",
@@ -597,6 +659,10 @@ def main(argv=None) -> int:
                           default=None,
                           help="only delete artifacts older than DAYS "
                                "(default: all)")
+    trace_gc.add_argument("--max-bytes", metavar="N[K|M|G]", default=None,
+                          help="size-bound the cache: evict least-"
+                               "recently-used artifacts until the rest "
+                               "fit in N bytes")
 
     classify_parser = sub.add_parser(
         "classify", help="taxonomy analysis (Type A/B/C)",
@@ -633,6 +699,19 @@ def main(argv=None) -> int:
         # listing every valid name and alias.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Flush any open checkpoint journal before going down so the
+        # interrupted sweep stays resumable, then exit with the
+        # conventional SIGINT status.
+        from .exec.journal import close_active_journals
+
+        flushed = close_active_journals()
+        for path in flushed:
+            print(f"interrupted: checkpoint journal flushed to {path}",
+                  file=sys.stderr)
+        if not flushed:
+            print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

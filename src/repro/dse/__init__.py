@@ -25,6 +25,7 @@ from .explorer import (
     SOURCE_DEADLOCK,
     SOURCE_FULL,
     SOURCE_INCREMENTAL,
+    SOURCE_QUARANTINED,
     Evaluator,
     SweepPoint,
     SweepResult,
@@ -42,6 +43,7 @@ __all__ = [
     "SOURCE_DEADLOCK",
     "SOURCE_FULL",
     "SOURCE_INCREMENTAL",
+    "SOURCE_QUARANTINED",
     "SweepPoint",
     "SweepResult",
     "dominates",

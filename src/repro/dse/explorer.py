@@ -26,10 +26,23 @@ the initializer payload is just a digest), falling back to pickling the
 portable trace-carrying reference otherwise — and compiles the design
 lazily, only if one of its configurations actually needs a full
 re-simulation.
+
+Resilience: both the serial and the pool path run under the supervised
+executor (:mod:`repro.exec`) — worker crashes respawn the pool and
+retry with backoff, hung chunks are killed at the ``timeout`` deadline,
+and a configuration that keeps failing on its own is *quarantined* as a
+:data:`SOURCE_QUARANTINED` point (``cycles=None``) instead of aborting
+the sweep.  ``checkpoint=``/``resume=`` journal every completed
+configuration to an append-only JSONL file keyed by the sweep's
+identity (design, trace digest, space, sampling), so an interrupted
+sweep re-evaluates only what is missing; the ``SweepResult.supervision``
+block records retries, respawns, quarantines and resumed counts.
 """
 
 from __future__ import annotations
 
+import json as _json
+import os as _os
 import pickle
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
@@ -46,6 +59,7 @@ from .space import DepthSpace
 SOURCE_INCREMENTAL = "incremental"
 SOURCE_FULL = "full"
 SOURCE_DEADLOCK = "deadlock"
+SOURCE_QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -100,6 +114,11 @@ class SweepResult:
     #: where the reference capture came from: "cold" (fresh simulation)
     #: or "warm" (loaded from the on-disk trace cache)
     capture: str = "cold"
+    #: provenance of the supervised execution (retries, respawns,
+    #: quarantines, resumed count, checkpoint path) — see
+    #: :class:`repro.exec.SupervisionReport`; None on the legacy bare
+    #: pool path
+    supervision: dict | None = None
 
     @property
     def evaluated(self) -> int:
@@ -123,6 +142,12 @@ class SweepResult:
     def deadlock_count(self) -> int:
         """Points whose configuration truly deadlocks (no cycle count)."""
         return self._count(SOURCE_DEADLOCK)
+
+    @property
+    def quarantined_count(self) -> int:
+        """Points whose configuration exhausted its retry budget (kept
+        as structured failures, never dropped from the result)."""
+        return self._count(SOURCE_QUARANTINED)
 
     @property
     def incremental_fraction(self) -> float:
@@ -159,8 +184,10 @@ class SweepResult:
             "incremental": self.incremental_count,
             "full": self.full_count,
             "deadlocked": self.deadlock_count,
+            "quarantined": self.quarantined_count,
             "incremental_fraction": round(self.incremental_fraction, 4),
             "capture": self.capture,
+            "supervision": self.supervision,
             "capture_seconds": round(self.capture_seconds, 6),
             "seconds": round(self.seconds, 6),
             "configs_per_sec": round(self.configs_per_sec, 2),
@@ -312,7 +339,23 @@ def _init_worker(design_ref, base_depths, executor,
     )
 
 
-def _evaluate_chunk(configs) -> list:
+def _evaluate_chunk(wire) -> list:
+    """Supervised wire format: ``[(config, fault_directive), ...]`` —
+    directives come from :class:`repro.exec.FaultPlan` and fire before
+    the evaluation they target."""
+    from ..exec.faults import apply_fault
+
+    points = []
+    for config, directive in wire:
+        if directive is not None:
+            apply_fault(directive)
+        points.append(_WORKER_EVALUATOR.evaluate(config))
+    return points
+
+
+def _evaluate_chunk_bare(configs) -> list:
+    """Legacy unsupervised chunk runner (the ``pool.map`` baseline the
+    benchmark harness measures supervision overhead against)."""
     return [_WORKER_EVALUATOR.evaluate(config) for config in configs]
 
 
@@ -321,7 +364,10 @@ def _evaluate_chunk(configs) -> list:
 
 def explore(design, space, *, params: dict | None = None,
             samples: int | None = None, seed: int = 0, jobs: int = 1,
-            executor: str | None = None, trace_cache=None) -> SweepResult:
+            executor: str | None = None, trace_cache=None,
+            timeout: float | None = None, max_retries: int = 3,
+            checkpoint=None, resume: bool = False, faults=None,
+            _pool_mode: str = "supervised") -> SweepResult:
     """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
 
     ``design`` is anything :class:`repro.api.Session` opens — a registry
@@ -340,8 +386,42 @@ def explore(design, space, *, params: dict | None = None,
     pool workers load the baseline by content digest instead of
     receiving it through pickle, and the result's ``capture`` field
     reports ``"warm"`` or ``"cold"``.
+
+    Resilience knobs (the supervised executor, :mod:`repro.exec`):
+    ``timeout`` is the per-chunk wall-clock deadline in seconds (hung
+    workers are killed and their chunks retried); ``max_retries`` bounds
+    how many failures one configuration may accrue before it is
+    quarantined as a :data:`SOURCE_QUARANTINED` point; ``checkpoint``
+    names an append-only JSONL journal of completed configurations, and
+    ``resume=True`` reuses a prior journal so only unfinished
+    configurations are re-evaluated (an identity mismatch — different
+    design, space, sampling or trace digest — raises
+    :class:`~repro.errors.CheckpointError`); ``faults`` injects
+    deterministic failures for testing (a spec string or
+    :class:`repro.exec.FaultPlan`; default: the ``REPRO_FAULTS``
+    environment variable).  The result's ``supervision`` block reports
+    what the executor actually did.
     """
     from ..api import Session
+    from ..exec import (
+        CheckpointJournal,
+        ExecPolicy,
+        Supervisor,
+        Unit,
+        resolve_plan,
+        run_serial,
+    )
+
+    fault_plan = resolve_plan(faults)
+    policy = ExecPolicy(timeout=timeout, max_retries=max_retries,
+                        seed=seed)
+    if _pool_mode not in ("supervised", "bare"):
+        raise ValueError(f"unknown _pool_mode {_pool_mode!r}")
+    if _pool_mode == "bare" and (checkpoint is not None
+                                 or fault_plan is not None
+                                 or timeout is not None):
+        raise TypeError("the bare pool path supports no checkpoint, "
+                        "fault or timeout handling (benchmark use only)")
 
     if not isinstance(space, DepthSpace):
         space = DepthSpace.parse(space)
@@ -417,25 +497,118 @@ def explore(design, space, *, params: dict | None = None,
             pickle.dumps(session.compiled)
         except Exception:
             jobs = 1
-    if jobs == 1:
-        evaluator = Evaluator(base, base_depths,
-                              lambda: session.compiled, executor)
-        points = [evaluator.evaluate(config) for config in configs]
-    else:
-        reference_spec = _reference_spec(session, base, executor)
-        # 4 chunks per worker: balance against stragglers while keeping
-        # shards contiguous for re-capture locality.
-        from ..api.batch import chunk_contiguous
 
-        chunks = chunk_contiguous(configs, jobs * 4)
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(design_ref, base_depths, executor, reference_spec),
-        ) as pool:
-            points = [point
-                      for chunk in pool.map(_evaluate_chunk, chunks)
-                      for point in chunk]
+    # One unit per configuration; the key is the config's canonical JSON,
+    # so checkpoint journals are stable across invocations and shardings.
+    units = [Unit(i, _json.dumps(config, sort_keys=True), config)
+             for i, config in enumerate(configs)]
+
+    def quarantined_point(config, detail):
+        depths = dict(base_depths)
+        depths.update(config)
+        return SweepPoint(
+            depths=depths,
+            cycles=None,
+            buffer_bits=(trace.buffer_bits(depths)
+                         if trace is not None else 0),
+            source=SOURCE_QUARANTINED,
+            seconds=0.0,
+            detail=(f"{detail['reason']}: {detail['message']} "
+                    f"(quarantined after {detail['attempts']} attempts)"),
+        )
+
+    journal = None
+    restored = {}
+    if checkpoint is not None:
+        identity = {
+            "kind": "dse",
+            "design": design_name,
+            "digest": session.trace_digest(executor),
+            "space": [[axis.fifo, list(axis.values)]
+                      for axis in space.axes],
+            "samples": samples,
+            "seed": seed,
+            "executor": executor,
+        }
+        journal, restored = CheckpointJournal.open(checkpoint, identity,
+                                                   resume=resume)
+
+    points_by_index: dict = {}
+    pending = []
+    for unit in units:
+        doc = restored.get(unit.key)
+        if doc is not None:
+            points_by_index[unit.index] = SweepPoint(**doc)
+        else:
+            pending.append(unit)
+    resumed = len(units) - len(pending)
+
+    def record(unit, status, value):
+        if journal is None:
+            return
+        point = (value if status == "ok"
+                 else quarantined_point(unit.payload, value))
+        journal.append(unit.key, point.to_json())
+
+    supervision = None
+    try:
+        if _pool_mode == "bare" and jobs > 1:
+            reference_spec = _reference_spec(session, base, executor)
+            from ..exec import chunk_contiguous
+
+            chunks = chunk_contiguous(configs, jobs * 4)
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(design_ref, base_depths, executor,
+                          reference_spec),
+            ) as pool:
+                points = [point
+                          for chunk in pool.map(_evaluate_chunk_bare,
+                                                chunks)
+                          for point in chunk]
+            seconds = _time.perf_counter() - sweep_start
+            return SweepResult(
+                design=design_name, params=params,
+                base_depths=base_depths, base_cycles=base.cycles,
+                space_size=space.size, jobs=jobs, points=points,
+                capture_seconds=capture_seconds, seconds=seconds,
+                capture=base.phase_seconds.get("capture", "cold"),
+            )
+        if jobs == 1:
+            evaluator = Evaluator(base, base_depths,
+                                  lambda: session.compiled, executor)
+            results, report = run_serial(
+                pending, evaluator.evaluate, policy=policy,
+                fault_plan=fault_plan, record=record,
+            )
+        else:
+            reference_spec = _reference_spec(session, base, executor)
+            def pool_factory():
+                return ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_init_worker,
+                    initargs=(design_ref, base_depths, executor,
+                              reference_spec),
+                )
+            supervisor = Supervisor(
+                pool_factory, _evaluate_chunk, jobs=jobs, policy=policy,
+                fault_plan=fault_plan, record=record,
+            )
+            results, report = supervisor.run(pending)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    for index, (status, value) in results.items():
+        points_by_index[index] = (value if status == "ok"
+                                  else quarantined_point(configs[index],
+                                                         value))
+    points = [points_by_index[i] for i in range(len(configs))]
+    supervision = report.to_json()
+    supervision["resumed"] = resumed
+    supervision["checkpoint"] = (_os.fspath(checkpoint)
+                                 if checkpoint is not None else None)
     seconds = _time.perf_counter() - sweep_start
 
     return SweepResult(
@@ -449,6 +622,7 @@ def explore(design, space, *, params: dict | None = None,
         capture_seconds=capture_seconds,
         seconds=seconds,
         capture=base.phase_seconds.get("capture", "cold"),
+        supervision=supervision,
     )
 
 

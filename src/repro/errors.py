@@ -160,3 +160,44 @@ class TraceFormatError(ReproError):
 class DseError(ReproError):
     """Invalid depth-space specification or exploration request
     (``repro.dse``): unknown FIFO names, empty/ill-formed ranges."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died while executing a chunk of work
+    (OOM kill, segfault, injected crash fault).
+
+    The supervised executor (:mod:`repro.exec`) never lets this abort a
+    sweep: the broken pool is respawned, the affected chunks are
+    re-split and retried with backoff, and only a configuration that
+    keeps killing workers on its own is quarantined.  In-process
+    (``jobs=1``) fault injection raises it directly so the serial retry
+    path is testable without a pool.
+    """
+
+
+class ChunkTimeoutError(ReproError):
+    """A chunk of work exceeded its wall-clock timeout
+    (:class:`repro.exec.ExecPolicy.timeout`).
+
+    The supervised executor kills the hung worker pool, respawns it,
+    and retries the chunk (re-splitting to isolate the hanging
+    configuration); the final verdict for a configuration that hangs
+    alone is quarantine, not an aborted sweep.
+    """
+
+
+class QuarantinedConfigError(ReproError):
+    """A configuration exhausted its retry budget and was quarantined.
+
+    Quarantined configurations are folded into results as structured
+    failures (``SweepPoint.source == "quarantined"`` /
+    ``SimulationResult.failure``) rather than raised mid-sweep; this
+    class exists for callers that want to re-raise them afterwards.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal could not be used (``repro.exec.journal``):
+    not a journal file, identity mismatch with the current sweep (other
+    design/space/digest), or an existing journal reused without
+    ``resume``."""

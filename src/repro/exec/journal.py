@@ -1,0 +1,208 @@
+"""Journaled checkpoints: append-only JSONL of completed work.
+
+A sweep that dies — OOM, SIGKILL, Ctrl-C, power loss — must not throw
+away the configurations it already evaluated.  The supervised executor
+appends one JSON line per *completed* unit of work to a
+:class:`CheckpointJournal`; a resumed invocation replays the journal,
+reconstructs those outcomes, and evaluates only what is missing.
+
+File format (UTF-8, one JSON document per line)::
+
+    {"journal": "repro-checkpoint", "version": 1, "identity": {...}}
+    {"k": "<unit key>", "o": {...outcome...}}
+    {"k": "<unit key>", "o": {...outcome...}}
+    ...
+
+* The **header** line carries an *identity* dict describing the sweep
+  the journal belongs to (design name, trace-artifact digest, depth
+  space, sampling seed, ...).  Resuming validates identity equality —
+  a journal from a different design, an edited design source (new
+  digest) or a different space raises
+  :class:`~repro.errors.CheckpointError` instead of silently merging
+  unrelated results.
+* **Outcome** lines are appended and flushed as each unit completes, so
+  a SIGKILL loses at most the in-flight work.  Keys are
+  content-derived (canonical JSON of the configuration), not positional,
+  so shards and retries journal consistently.
+* The reader is **crash-tolerant**: a truncated or corrupt trailing
+  line (the write the crash interrupted) is discarded, and the file is
+  truncated back to the last intact line before appending resumes.
+
+An existing journal with completed entries is only reused when the
+caller explicitly opts in (``resume=True`` / ``--resume``); otherwise
+:class:`~repro.errors.CheckpointError` explains the choice.  The module
+also tracks every open journal so the CLI can flush them on
+``KeyboardInterrupt`` before exiting with status 130.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import weakref
+
+from ..errors import CheckpointError
+
+MAGIC = "repro-checkpoint"
+VERSION = 1
+
+#: journals currently open anywhere in the process (the CLI flushes
+#: these on KeyboardInterrupt); weak so a dropped journal vanishes
+_ACTIVE: "weakref.WeakSet[CheckpointJournal]" = weakref.WeakSet()
+
+
+def read_journal(path):
+    """Tolerant journal reader.
+
+    Returns ``(identity, completed, good_size)`` where ``completed``
+    maps unit key -> outcome dict (later duplicates win) and
+    ``good_size`` is the byte offset of the last intact line — the
+    point to truncate to before appending.  Raises
+    :class:`~repro.errors.CheckpointError` when the file is not a
+    checkpoint journal at all.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    offset = 0
+    identity = None
+    completed: dict = {}
+    good_size = 0
+    for raw in data.split(b"\n"):
+        line_end = offset + len(raw) + 1  # +1 for the newline
+        if line_end > len(data) + 1:  # pragma: no cover - defensive
+            break
+        stripped = raw.strip()
+        if not stripped:
+            offset = line_end
+            continue
+        try:
+            doc = json.loads(stripped.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            # The interrupted (or corrupt) tail: everything after the
+            # last intact line is discarded and re-derived.
+            break
+        if identity is None:
+            if (not isinstance(doc, dict) or doc.get("journal") != MAGIC):
+                raise CheckpointError(
+                    f"{path} is not a checkpoint journal "
+                    "(missing header line)"
+                )
+            if doc.get("version") != VERSION:
+                raise CheckpointError(
+                    f"{path}: unsupported journal version "
+                    f"{doc.get('version')!r} (this build writes "
+                    f"version {VERSION})"
+                )
+            identity = doc.get("identity") or {}
+        elif isinstance(doc, dict) and "k" in doc and "o" in doc:
+            completed[doc["k"]] = doc["o"]
+        else:
+            break  # structurally wrong line: stop trusting the tail
+        # Only count fully newline-terminated lines as durable.
+        if line_end <= len(data):
+            good_size = line_end
+        offset = line_end
+    if identity is None:
+        raise CheckpointError(
+            f"{path} is not a checkpoint journal (no intact header line)"
+        )
+    return identity, completed, good_size
+
+
+class CheckpointJournal:
+    """One open, append-only checkpoint journal."""
+
+    def __init__(self, path, fh, identity: dict):
+        self.path = os.fspath(path)
+        self._fh = fh
+        self.identity = identity
+        #: outcome lines appended by *this* process (not resumed ones)
+        self.appended = 0
+        _ACTIVE.add(self)
+
+    @classmethod
+    def open(cls, path, identity: dict, *, resume: bool = False):
+        """Open (creating or resuming) a journal for one sweep.
+
+        Returns ``(journal, completed)``; ``completed`` is empty for a
+        fresh journal.  Raises :class:`~repro.errors.CheckpointError`
+        when an existing journal's identity does not match, or when it
+        already holds completed entries and ``resume`` is not set.
+        """
+        path = os.fspath(path)
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if not exists:
+            fh = open(path, "w", encoding="utf-8")
+            fh.write(json.dumps(
+                {"journal": MAGIC, "version": VERSION,
+                 "identity": identity},
+                sort_keys=True) + "\n")
+            fh.flush()
+            return cls(path, fh, identity), {}
+        found, completed, good_size = read_journal(path)
+        if found != identity:
+            raise CheckpointError(
+                f"checkpoint journal {path} belongs to a different "
+                f"sweep: journal identity {found!r} != current "
+                f"{identity!r} (delete the file or point --checkpoint "
+                "elsewhere)"
+            )
+        if completed and not resume:
+            raise CheckpointError(
+                f"checkpoint journal {path} already has "
+                f"{len(completed)} completed entr"
+                f"{'y' if len(completed) == 1 else 'ies'}; pass "
+                "--resume to continue it or delete the file to start "
+                "over"
+            )
+        if good_size < os.path.getsize(path):
+            # Drop the interrupted trailing write before appending.
+            with open(path, "r+b") as trunc:
+                trunc.truncate(good_size)
+        fh = open(path, "a", encoding="utf-8")
+        journal = cls(path, fh, identity)
+        return journal, (completed if resume else {})
+
+    def append(self, key: str, outcome: dict) -> None:
+        """Durably record one completed unit (flushed per line)."""
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps({"k": key, "o": outcome},
+                                  sort_keys=True) + "\n")
+        self._fh.flush()
+        self.appended += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self.flush()
+            except OSError:
+                pass
+            self._fh.close()
+            self._fh = None
+        _ACTIVE.discard(self)
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def close_active_journals() -> list:
+    """Flush and close every journal open in this process; returns the
+    paths flushed.  The CLI's KeyboardInterrupt handler calls this so an
+    interrupted sweep's checkpoint survives intact."""
+    paths = []
+    for journal in list(_ACTIVE):
+        paths.append(journal.path)
+        try:
+            journal.close()
+        except OSError:  # pragma: no cover - best-effort on teardown
+            pass
+    return sorted(paths)

@@ -252,6 +252,10 @@ class CacheEntry:
     path: str
     size: int
     mtime: float
+    #: last-use time — refreshed explicitly by ``TraceStore.get`` (the
+    #: filesystem's own atime is unreliable under relatime/noatime), so
+    #: size-bounded gc can evict least-recently-used entries first
+    atime: float = 0.0
 
 
 class TraceStore:
@@ -286,7 +290,7 @@ class TraceStore:
             )
             return None
         try:
-            return loads_artifact(data)
+            artifact = loads_artifact(data)
         except TraceFormatError as exc:
             warnings.warn(
                 f"trace cache: discarding {os.path.basename(path)} "
@@ -298,6 +302,17 @@ class TraceStore:
             except OSError:
                 pass
             return None
+        self._touch(path)
+        return artifact
+
+    def _touch(self, path: str) -> None:
+        """Refresh the entry's access time (mtime preserved — age-based
+        gc keys on creation, LRU eviction on last use)."""
+        try:
+            st = os.stat(path)
+            os.utime(path, (_time.time(), st.st_mtime))
+        except OSError:
+            pass
 
     def put(self, digest: str, artifact: TraceArtifact) -> bool:
         """Serialize ``artifact`` under ``digest`` (atomic write).
@@ -351,7 +366,7 @@ class TraceStore:
                 continue
             out.append(CacheEntry(
                 digest=name[:-len(self.SUFFIX)], path=path,
-                size=st.st_size, mtime=st.st_mtime,
+                size=st.st_size, mtime=st.st_mtime, atime=st.st_atime,
             ))
         out.sort(key=lambda e: e.mtime, reverse=True)
         return out
@@ -376,20 +391,39 @@ class TraceStore:
                         pass
         return ok, corrupt
 
-    def gc(self, older_than_days: float | None = None):
-        """Delete cached artifacts (all of them, or only those older
-        than ``older_than_days``).  Returns ``(count, bytes)`` removed.
+    def gc(self, older_than_days: float | None = None,
+           max_bytes: int | None = None):
+        """Delete cached artifacts.  Returns ``(count, bytes)`` removed.
+
+        With no arguments everything goes.  ``older_than_days`` deletes
+        entries whose creation (mtime) is older than that;
+        ``max_bytes`` then bounds the total cache size by evicting
+        least-recently-used entries (oldest access time first — ``get``
+        refreshes it) until the survivors fit.  The two compose: age
+        filter first, size bound on what's left.
 
         Safe at any time: entries are pure derived state — the next
         capture rebuilds and re-caches them.
         """
-        cutoff = (None if older_than_days is None
-                  else _time.time() - older_than_days * 86400.0)
+        entries = self.entries()
+        if older_than_days is None and max_bytes is None:
+            doomed, survivors = list(entries), []
+        else:
+            doomed, survivors = [], list(entries)
+            if older_than_days is not None:
+                cutoff = _time.time() - older_than_days * 86400.0
+                doomed += [e for e in survivors if e.mtime < cutoff]
+                survivors = [e for e in survivors if e.mtime >= cutoff]
+            if max_bytes is not None:
+                survivors.sort(key=lambda e: e.atime)  # LRU first
+                total = sum(e.size for e in survivors)
+                while survivors and total > max_bytes:
+                    victim = survivors.pop(0)
+                    doomed.append(victim)
+                    total -= victim.size
         removed = 0
         reclaimed = 0
-        for entry in self.entries():
-            if cutoff is not None and entry.mtime >= cutoff:
-                continue
+        for entry in doomed:
             try:
                 os.unlink(entry.path)
             except OSError:

@@ -216,6 +216,7 @@ class TestEngineConformance:
 class TestApiStability:
     def test_public_api_surface(self):
         assert repro.api.__all__ == [
+            "BatchResult",
             "Engine",
             "EngineInfo",
             "Session",

@@ -206,6 +206,35 @@ class TestStoreManagement:
         assert removed == 0
         assert store.contains(digest)
 
+    def test_gc_max_bytes_evicts_lru_first(self, tmp_path):
+        store = resolve_store(tmp_path)
+        now = os.stat(tmp_path).st_mtime
+        for i, digest in enumerate(("aaa", "bbb", "ccc")):
+            path = store.path(digest)
+            with open(path, "wb") as fh:
+                fh.write(b"x" * 100)
+            # aaa least recently used, ccc most
+            os.utime(path, (now - 300 + i * 100, now))
+        removed, reclaimed = store.gc(max_bytes=150)
+        assert (removed, reclaimed) == (2, 200)
+        assert not store.contains("aaa") and not store.contains("bbb")
+        assert store.contains("ccc")
+        # already under budget: nothing more to evict
+        assert store.gc(max_bytes=150) == (0, 0)
+
+    def test_get_refreshes_atime_for_lru(self, warm_store):
+        # relatime mounts don't reliably update atime on reads, so get()
+        # touches the file explicitly; without this, warm hits would be
+        # evicted as if never used.
+        store, digest, _ = warm_store
+        path = store.path(digest)
+        st = os.stat(path)
+        stale = st.st_mtime - 9999
+        os.utime(path, (stale, st.st_mtime))
+        assert store.get(digest) is not None
+        assert os.stat(path).st_atime > stale + 5000
+        assert os.stat(path).st_mtime == pytest.approx(st.st_mtime)
+
     def test_resolve_store_settings(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
         assert resolve_store(None) is None
