@@ -2,7 +2,7 @@
 """Docs smoke checks: the README quickstarts must actually run, and
 every checked-in example spec must parse and simulate.
 
-Three checks (run one by name, or all by default):
+Four checks (run one by name, or all by default):
 
 * ``quickstart`` — extract every ``python -m repro ...`` line (plus the
   ``rm -f /tmp/...`` lines that reset demo state) from the README's
@@ -11,11 +11,14 @@ Three checks (run one by name, or all by default):
 * ``api`` — extract the README's fenced ``python`` blocks (the
   ``repro.api`` quickstart) and execute them (so the programmatic
   quickstart can never drift from the API);
+* ``design`` — assert DESIGN.md documents the vectorized batch-retiming
+  kernel (section 16) and run any ``python -m repro`` lines in its
+  fenced ``bash`` blocks;
 * ``examples`` — parse, lower, compile and simulate every
   ``examples/*.yaml`` / ``*.json`` spec through a ``repro.api``
   session.
 
-Usage: ``python scripts/docs_smoke.py [quickstart|api|examples]``
+Usage: ``python scripts/docs_smoke.py [quickstart|api|design|examples]``
 (run from the repository root; sets ``PYTHONPATH=src`` for children).
 """
 
@@ -96,6 +99,38 @@ def check_api() -> int:
     return 1 if failures else 0
 
 
+def check_design() -> int:
+    """DESIGN.md must document the vectorized kernel (section 16) and
+    its ``python -m repro`` command lines (if any) must run — same
+    drift guard the README gets."""
+    with open(os.path.join(ROOT, "DESIGN.md"), encoding="utf-8") as fh:
+        design = fh.read()
+    required = ["## 16. Vectorized batch retiming",
+                "resimulate_batch", "--no-vectorize"]
+    failures = 0
+    for needle in required:
+        if needle not in design:
+            failures += 1
+            print(f"FAIL: DESIGN.md is missing {needle!r}")
+    commands = []
+    for block in FENCE.findall(design):
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith("python -m repro"):
+                commands.append(line)
+    for command in commands:
+        print(f"$ {command}")
+        proc = subprocess.run(command, shell=True, cwd=ROOT, env=_env(),
+                              capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"FAIL (exit {proc.returncode}):\n{proc.stdout}"
+                  f"{proc.stderr}")
+    print(f"design: {len(required) + len(commands) - failures}/"
+          f"{len(required) + len(commands)} checks ok")
+    return 1 if failures else 0
+
+
 def check_examples() -> int:
     sys.path.insert(0, os.path.join(ROOT, "src"))
     from repro.api import Session
@@ -123,7 +158,7 @@ def check_examples() -> int:
 
 def main(argv) -> int:
     which = argv[1] if len(argv) > 1 else "all"
-    if which not in ("all", "quickstart", "api", "examples"):
+    if which not in ("all", "quickstart", "api", "design", "examples"):
         print(__doc__)
         return 2
     status = 0
@@ -131,6 +166,8 @@ def main(argv) -> int:
         status |= check_quickstart()
     if which in ("all", "api"):
         status |= check_api()
+    if which in ("all", "design"):
+        status |= check_design()
     if which in ("all", "examples"):
         status |= check_examples()
     return status

@@ -155,8 +155,39 @@ class _BatchRunner:
             self._compiled = self._compile_fn()
         return self._compiled
 
-    def _serve_incremental(self, config: dict,
-                           keep_graphs: bool) -> SimulationResult | None:
+    def _served_result(self, inc, elapsed: float, keep_graphs: bool,
+                       mode: str) -> SimulationResult:
+        """Build the served :class:`SimulationResult` for one validated
+        incremental replay (scalar or vectorized) of the reference."""
+        base = self.reference
+        return SimulationResult(
+            design_name=base.design_name,
+            simulator="omnisim",
+            cycles=inc.cycles,
+            scalars=dict(base.scalars),
+            buffers={k: list(v) for k, v in base.buffers.items()},
+            axi_memories={k: list(v) for k, v in base.axi_memories.items()},
+            module_end_times=dict(inc.module_end_times),
+            fifo_leftovers=dict(base.fifo_leftovers),
+            stats=dataclasses.replace(base.stats),
+            execute_seconds=elapsed,
+            frontend_seconds=0.0,
+            warnings=list(base.warnings),
+            phase_seconds={"serving": "incremental",
+                           "replay_seconds": inc.seconds,
+                           "mode": mode},
+            # Attaching replay state costs a constraints-list copy per
+            # served config; skip it when the caller strips it anyway.
+            graph=base.graph if keep_graphs else None,
+            constraints=list(base.constraints) if keep_graphs else [],
+            fifo_channels=(dict(base.fifo_channels) if keep_graphs
+                           else {}),
+            trace=base.trace if keep_graphs else None,
+        )
+
+    def _serve_incremental(self, config: dict, keep_graphs: bool,
+                           mode: str = "scalar"
+                           ) -> SimulationResult | None:
         """Try to serve ``config`` from the captured reference; None
         means a full run is required."""
         if self.reference is None:
@@ -179,36 +210,14 @@ class _BatchRunner:
             # Flipped constraint, or the graph went cyclic under these
             # depths; a real run decides what actually happens there.
             return None
-        base = self.reference
-        return SimulationResult(
-            design_name=base.design_name,
-            simulator="omnisim",
-            cycles=inc.cycles,
-            scalars=dict(base.scalars),
-            buffers={k: list(v) for k, v in base.buffers.items()},
-            axi_memories={k: list(v) for k, v in base.axi_memories.items()},
-            module_end_times=dict(inc.module_end_times),
-            fifo_leftovers=dict(base.fifo_leftovers),
-            stats=dataclasses.replace(base.stats),
-            execute_seconds=_time.perf_counter() - start,
-            frontend_seconds=0.0,
-            warnings=list(base.warnings),
-            phase_seconds={"serving": "incremental",
-                           "replay_seconds": inc.seconds},
-            # Attaching replay state costs a constraints-list copy per
-            # served config; skip it when the caller strips it anyway.
-            graph=base.graph if keep_graphs else None,
-            constraints=list(base.constraints) if keep_graphs else [],
-            fifo_channels=(dict(base.fifo_channels) if keep_graphs
-                           else {}),
-            trace=base.trace if keep_graphs else None,
-        )
+        return self._served_result(inc, _time.perf_counter() - start,
+                                   keep_graphs, mode)
 
-    def run_config(self, config: dict,
-                   keep_graphs: bool) -> SimulationResult:
+    def run_config(self, config: dict, keep_graphs: bool,
+                   _mode: str = "scalar") -> SimulationResult:
         """Run one normalized config; fold simulation-level failures
         into the result instead of raising."""
-        result = self._serve_incremental(config, keep_graphs)
+        result = self._serve_incremental(config, keep_graphs, _mode)
         if result is None:
             try:
                 result = run_engine(config["engine"], self.compiled,
@@ -216,6 +225,7 @@ class _BatchRunner:
                                     executor=config["executor"],
                                     **config["kwargs"])
                 result.phase_seconds["serving"] = "full"
+                result.phase_seconds["mode"] = "full"
                 if (self.reference is not None
                         and config["engine"] == "omnisim"
                         and result.graph is not None):
@@ -228,7 +238,7 @@ class _BatchRunner:
                     simulator=config["engine"],
                     cycles=exc.cycle,
                     failure=str(exc),
-                    phase_seconds={"serving": "full"},
+                    phase_seconds={"serving": "full", "mode": "full"},
                 )
             except UnsupportedDesignError as exc:
                 result = SimulationResult(
@@ -236,7 +246,7 @@ class _BatchRunner:
                     simulator=config["engine"],
                     cycles=0,
                     failure=str(exc),
-                    phase_seconds={"serving": "full"},
+                    phase_seconds={"serving": "full", "mode": "full"},
                 )
         if not keep_graphs:
             if result is self.reference:
@@ -246,6 +256,51 @@ class _BatchRunner:
             _strip_replay_state(result)
         return result
 
+    def run_configs(self, configs: list, keep_graphs: bool
+                    ) -> list[SimulationResult]:
+        """Evaluate a slice of configs in order, serving eligible rows
+        through the vectorized batch kernel
+        (:func:`repro.trace.vectorized.resimulate_batch`) in one matrix
+        sweep.  Ineligible rows — and every row the kernel declines
+        (constraint flip, depth outside the kernel's safe range, NumPy
+        unavailable) — take the scalar :meth:`run_config` path one at a
+        time, producing bit-for-bit identical values."""
+        from ..trace.columnar import replay_trace
+        from ..trace.vectorized import batch_supported, resimulate_batch
+
+        served: list = [None] * len(configs)
+        trace = (replay_trace(self.reference)
+                 if self.reference is not None else None)
+        eligible = {i for i, c in enumerate(configs)
+                    if c["engine"] == "omnisim" and not c["kwargs"]}
+        batched = (trace is not None and len(eligible) > 1
+                   and batch_supported(trace))
+        if batched:
+            order = sorted(eligible)
+            maps = []
+            for i in order:
+                depths = dict(self.base_depths)
+                depths.update(configs[i]["depths"])
+                maps.append(depths)
+            start = _time.perf_counter()
+            rows = resimulate_batch(trace, maps)
+            elapsed = (_time.perf_counter() - start) / len(order)
+            for i, inc in zip(order, rows):
+                if inc is not None:
+                    served[i] = self._served_result(
+                        inc, elapsed, keep_graphs, mode="vectorized")
+        out = []
+        for i, config in enumerate(configs):
+            if served[i] is not None:
+                out.append(served[i])
+            else:
+                # "scalar-fallback" marks a row the kernel looked at and
+                # declined; rows the batch never covered stay "scalar".
+                mode = ("scalar-fallback"
+                        if batched and i in eligible else "scalar")
+                out.append(self.run_config(config, keep_graphs, mode))
+        return out
+
 
 # ---------------------------------------------------------------------------
 # process-pool plumbing.  Module-level state because ProcessPoolExecutor
@@ -254,27 +309,51 @@ class _BatchRunner:
 
 _WORKER_RUNNER: _BatchRunner | None = None
 _WORKER_KEEP_GRAPHS = False
+_WORKER_BATCH_SIZE = 0
 
 
 def _init_worker(design_ref, base_depths, baseline,
-                 keep_graphs: bool = False) -> None:
-    global _WORKER_RUNNER, _WORKER_KEEP_GRAPHS
+                 keep_graphs: bool = False, batch_size: int = 0) -> None:
+    global _WORKER_RUNNER, _WORKER_KEEP_GRAPHS, _WORKER_BATCH_SIZE
     _WORKER_RUNNER = _BatchRunner(
         lambda: compile_from_ref(design_ref), base_depths, baseline
     )
     _WORKER_KEEP_GRAPHS = keep_graphs
+    _WORKER_BATCH_SIZE = batch_size
 
 
 def _run_chunk(wire) -> list:
-    """Supervised wire format: ``[(config, fault_directive), ...]``."""
+    """Supervised wire format: ``[(config, fault_directive), ...]``.
+
+    Fault directives segment the chunk: everything before a directive is
+    flushed (batched through :meth:`_BatchRunner.run_configs` when the
+    worker was initialized with a batch size) so the fault lands exactly
+    where sequential evaluation would put it."""
     from ..exec.faults import apply_fault
 
-    results = []
+    results: list = []
+    segment: list = []
+
+    def flush():
+        if not segment:
+            return
+        if _WORKER_BATCH_SIZE > 1:
+            for lo in range(0, len(segment), _WORKER_BATCH_SIZE):
+                results.extend(_WORKER_RUNNER.run_configs(
+                    segment[lo:lo + _WORKER_BATCH_SIZE],
+                    _WORKER_KEEP_GRAPHS))
+        else:
+            for config in segment:
+                results.append(_WORKER_RUNNER.run_config(
+                    config, _WORKER_KEEP_GRAPHS))
+        del segment[:]
+
     for config, directive in wire:
         if directive is not None:
+            flush()
             apply_fault(directive)
-        results.append(_WORKER_RUNNER.run_config(config,
-                                                 _WORKER_KEEP_GRAPHS))
+        segment.append(config)
+    flush()
     return results
 
 
@@ -325,7 +404,8 @@ class BatchResult(list):
 def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
              keep_graphs: bool = False, timeout: float | None = None,
              max_retries: int = 3, checkpoint=None, resume: bool = False,
-             faults=None) -> BatchResult:
+             faults=None, vectorize: bool = True,
+             batch_size: int | None = None) -> BatchResult:
     """Evaluate ``configs`` against ``session``'s design (see
     :meth:`repro.api.Session.run_many` for the config schema).
 
@@ -346,6 +426,15 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
     (deterministic injection; default: ``REPRO_FAULTS``).  Returns a
     :class:`BatchResult` whose ``supervision`` attribute is the
     provenance block.
+
+    ``vectorize`` (default on) serves incremental-eligible configs in
+    ``batch_size``-row slices through the NumPy batch-retiming kernel
+    (:mod:`repro.trace.vectorized`); rows the kernel declines fall back
+    to the scalar path with bit-for-bit identical values.  Each result's
+    ``phase_seconds["mode"]`` records which path evaluated it
+    (``"vectorized"`` / ``"scalar"`` / ``"scalar-fallback"`` /
+    ``"full"``).  ``vectorize=False`` pins every config to the scalar
+    path.  Checkpoint/journal granularity stays per config either way.
     """
     from ..exec import (
         CheckpointJournal,
@@ -356,11 +445,18 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
         run_serial,
     )
 
+    from ..trace.vectorized import DEFAULT_BATCH_SIZE
+
     if checkpoint is not None and keep_graphs:
         raise ValueError(
             "run_many(checkpoint=...) requires keep_graphs=False: replay "
             "state (graphs/constraints/traces) cannot be journaled"
         )
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    effective_batch = batch_size if (vectorize and incremental) else 0
     fault_plan = resolve_plan(faults)
     policy = ExecPolicy(timeout=timeout, max_retries=max_retries)
     compiled = session.compiled
@@ -441,6 +537,10 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
                 pending,
                 lambda config: runner.run_config(config, keep_graphs),
                 policy=policy, fault_plan=fault_plan, record=record,
+                run_batch=(
+                    (lambda cfgs: runner.run_configs(cfgs, keep_graphs))
+                    if effective_batch > 1 else None),
+                batch_size=effective_batch,
             )
         else:
             shipped = (None if baseline is None
@@ -450,7 +550,7 @@ def run_many(session, configs, *, jobs: int = 1, incremental: bool = True,
                     max_workers=jobs,
                     initializer=_init_worker,
                     initargs=(session.design_ref, base_depths, shipped,
-                              keep_graphs),
+                              keep_graphs, effective_batch),
                 )
             supervisor = Supervisor(
                 pool_factory, _run_chunk, jobs=jobs, policy=policy,

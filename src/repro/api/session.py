@@ -206,10 +206,62 @@ class Session:
             depths = validate_depths(self.compiled, depths)
         return resimulate(baseline, depths)
 
+    def resimulate_many(self, configs, *, executor: str | None = None,
+                        batch_size: int | None = None) -> list:
+        """Batched :meth:`resimulate`: evaluate many depth-override
+        dicts against the cached baseline in one vectorized matrix
+        sweep.
+
+        Returns one entry per config, **in config order**: an
+        :class:`~repro.sim.incremental.IncrementalResult` (bit-for-bit
+        what scalar :meth:`resimulate` would return) when the recorded
+        constraints re-validate under that row's depths, or ``None``
+        when the row needs a full run (constraint flip — the scalar path
+        would raise :class:`~repro.errors.ConstraintViolation` — or the
+        row falls outside the kernel's safe range).  Unlike
+        :meth:`run_many` there is no full-simulation fallback: callers
+        that want automatic fallback + re-capture use :meth:`sweep` or
+        :meth:`run_many`.
+
+        Without NumPy (or on artifacts lacking the all-depth replay
+        order) every row is evaluated by the scalar path instead —
+        same values, just not batched.
+        """
+        from ..trace.columnar import replay_trace
+        from ..trace.vectorized import (
+            DEFAULT_BATCH_SIZE,
+            batch_supported,
+            resimulate_batch,
+        )
+
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        configs = list(configs)
+        baseline = self.baseline(executor=executor)
+        trace = replay_trace(baseline)
+        out: list = []
+        if trace is not None and batch_supported(trace):
+            for lo in range(0, len(configs), batch_size):
+                out.extend(resimulate_batch(
+                    trace, configs[lo:lo + batch_size]))
+            return out
+        from ..errors import ConstraintViolation, SimulationError
+        from ..sim.incremental import resimulate
+
+        for config in configs:
+            try:
+                out.append(resimulate(baseline, dict(config)))
+            except (ConstraintViolation, SimulationError):
+                out.append(None)
+        return out
+
     def run_many(self, configs, *, jobs: int = 1, incremental: bool = True,
                  keep_graphs: bool = False, timeout: float | None = None,
                  max_retries: int = 3, checkpoint=None,
-                 resume: bool = False, faults=None) -> list:
+                 resume: bool = False, faults=None, vectorize: bool = True,
+                 batch_size: int | None = None) -> list:
         """Run a batch of configurations, optionally over a process pool.
 
         Each config is a dict with optional keys ``engine`` (default
@@ -230,7 +282,11 @@ class Session:
         configs retried up to ``max_retries`` times before quarantine,
         and ``checkpoint``/``resume`` journal completed configs across
         interruptions.  The returned list's ``supervision`` attribute
-        carries the provenance block.  See
+        carries the provenance block.  ``vectorize`` (default on) serves
+        incremental-eligible configs in ``batch_size``-row slices
+        through the NumPy batch-retiming kernel, with per-row scalar
+        fallback — identical values, each result's
+        ``phase_seconds["mode"]`` records the path.  See
         :func:`repro.api.batch.run_many`.
         """
         from .batch import run_many
@@ -238,12 +294,14 @@ class Session:
         return run_many(self, configs, jobs=jobs, incremental=incremental,
                         keep_graphs=keep_graphs, timeout=timeout,
                         max_retries=max_retries, checkpoint=checkpoint,
-                        resume=resume, faults=faults)
+                        resume=resume, faults=faults, vectorize=vectorize,
+                        batch_size=batch_size)
 
     def sweep(self, space, *, samples: int | None = None, seed: int = 0,
               jobs: int = 1, executor: str | None = None,
               timeout: float | None = None, max_retries: int = 3,
-              checkpoint=None, resume: bool = False, faults=None):
+              checkpoint=None, resume: bool = False, faults=None,
+              vectorize: bool = True, batch_size: int | None = None):
         """Depth-space exploration over this session's design.
 
         ``space`` is a :class:`~repro.dse.DepthSpace` or a list of axis
@@ -252,8 +310,9 @@ class Session:
         design and cached baseline; returns a
         :class:`~repro.dse.SweepResult`.  The resilience knobs
         (``timeout``, ``max_retries``, ``checkpoint``/``resume``,
-        ``faults``) pass through to the supervised executor — see
-        :func:`repro.dse.explore`.
+        ``faults``) pass through to the supervised executor, and
+        ``vectorize``/``batch_size`` control the batched retiming kernel
+        — see :func:`repro.dse.explore`.
         """
         from ..dse import explore
 
@@ -262,7 +321,8 @@ class Session:
                                  else self.executor),
                        timeout=timeout, max_retries=max_retries,
                        checkpoint=checkpoint, resume=resume,
-                       faults=faults)
+                       faults=faults, vectorize=vectorize,
+                       batch_size=batch_size)
 
     # -- analysis -------------------------------------------------------
 

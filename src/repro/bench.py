@@ -14,7 +14,11 @@ repository's performance trajectory file.  Three headline metrics:
   compared against a from-scratch rebuild per configuration;
 * **DSE configs/sec** — end-to-end depth-space exploration throughput
   through ``repro.dse.explore`` (incremental-first with fallback),
-  including the incremental-vs-full split and Pareto frontier size;
+  including the incremental-vs-full split, Pareto frontier size, and
+  the vectorized-vs-scalar sweep rate (``vectorize_speedup``);
+* **batch retime configs/sec** — the ``repro.trace.vectorized`` kernel
+  against the scalar ``TraceArtifact.resimulate`` oracle on the same
+  captured artifact, per batch size (the "batch_retime" section);
 * **batched runs/sec** — ``Session.run_many`` throughput, sequential vs
   sharded over a process pool (the compiled artifact ships to each
   worker once; the "api" section records the jobs>1 speedup);
@@ -78,16 +82,31 @@ SMOKE_RETIME_SWEEPS = [
     ("fig4_ex5", {"n": 100}, "fifo2", range(3, 9)),
 ]
 
-#: (design, params, depth-space specs) for the DSE throughput benchmark:
-#: one all-incremental Type A sweep and one Type C sweep whose hot FIFO
-#: forces the fallback path to run.
+#: (label, design, params, depth-space specs) for the DSE throughput
+#: benchmark: one all-incremental Type A sweep, one Type C sweep whose
+#: hot FIFO forces the fallback path to run, and one wide Table 6-style
+#: sweep sized so the vectorized batch-retiming kernel dominates.
 DSE_SWEEPS = [
-    ("vector_add_stream", {}, ["sc=1:32"]),
-    ("fig4_ex5", {"n": 400}, ["fifo1=1:8", "fifo2=2,8"]),
+    ("vector_add_stream", "vector_add_stream", {}, ["sc=1:32"]),
+    ("fig4_ex5", "fig4_ex5", {"n": 400}, ["fifo1=1:8", "fifo2=2,8"]),
+    ("fig4_ex5_batch", "fig4_ex5", {"n": 400}, ["fifo2=2:257"]),
 ]
 
 SMOKE_DSE_SWEEPS = [
-    ("vector_add_stream", {"n": 256}, ["sc=1:8"]),
+    ("vector_add_stream", "vector_add_stream", {"n": 256}, ["sc=1:8"]),
+]
+
+#: (label, design, params, swept fifo, config count, batch sizes) for
+#: the batch-retiming kernel benchmark: scalar resimulate vs
+#: ``resimulate_batch`` on the same captured artifact.
+BATCH_RETIME_BENCHES = [
+    ("fig4_ex5", "fig4_ex5", {"n": 400}, "fifo2", 1024, (32, 256, 1024)),
+    ("vector_add_stream", "vector_add_stream", {}, "sc", 1024,
+     (32, 256, 1024)),
+]
+
+SMOKE_BATCH_RETIME_BENCHES = [
+    ("fig4_ex5", "fig4_ex5", {"n": 100}, "fifo2", 128, (32, 128)),
 ]
 
 #: (design, params, batch size, pool jobs) for the batched-run benchmark
@@ -200,11 +219,21 @@ def bench_retime(name: str, params: dict, fifo: str, depth_range) -> dict:
 
 def bench_dse(name: str, params: dict, specs: list) -> dict:
     """End-to-end sweep throughput of the DSE engine (single process, so
-    BENCH numbers stay core-count independent)."""
+    BENCH numbers stay core-count independent).
+
+    Runs the sweep twice — vectorized (default) and ``vectorize=False``
+    — checks the points are value-identical, and records both rates so
+    the batching speedup is pinned alongside the absolute number."""
     from .dse import explore
 
     sweep = explore(name, specs, params=params, jobs=1,
                     trace_cache=False)
+    scalar = explore(name, specs, params=params, jobs=1,
+                     trace_cache=False, vectorize=False)
+    key = lambda p: (sorted(p.depths.items()), p.cycles, p.buffer_bits)
+    if [key(p) for p in sweep.points] != [key(p) for p in scalar.points]:
+        raise RuntimeError(
+            f"dse bench: vectorized and scalar sweeps of {name} diverge")
 
     # Supervised-executor overhead vs the bare ``pool.map`` path it
     # replaced: same space, same pool width, best of two runs each (the
@@ -232,6 +261,10 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
         "capture_seconds": round(sweep.capture_seconds, 6),
         "sweep_seconds": round(sweep.seconds, 6),
         "configs_per_sec": round(sweep.configs_per_sec, 1),
+        "modes": sweep.mode_counts,
+        "scalar_configs_per_sec": round(scalar.configs_per_sec, 1),
+        "vectorize_speedup": round(
+            sweep.configs_per_sec / max(scalar.configs_per_sec, 1e-9), 2),
         "supervision": {
             "jobs": 2,
             "bare_pool_seconds": round(bare, 6),
@@ -240,6 +273,84 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
                                   / max(bare, 1e-9), 2),
         },
     }
+
+
+def bench_batch_retime(name: str, params: dict, fifo: str,
+                       n_configs: int, batch_sizes) -> dict:
+    """Scalar vs vectorized retiming throughput on one captured
+    artifact: ``TraceArtifact.resimulate`` one config at a time against
+    ``repro.trace.vectorized.resimulate_batch`` over the same configs,
+    per batch size.  The batched rows are differentially checked
+    against the scalar oracle on a sample before any rate is
+    reported."""
+    import random as _random
+
+    from .errors import SimulationError
+    from .trace.columnar import replay_trace
+    from .trace.vectorized import (
+        batch_supported,
+        numpy_available,
+        resimulate_batch,
+    )
+
+    # Explicit raises, not asserts: checks must survive `python -O`.
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            raise RuntimeError(f"batch_retime invariant failed: {what}")
+
+    session = Session.open(name, trace_cache=False, **params)
+    trace = replay_trace(session.baseline())
+    check(trace is not None, f"{name} has no trace artifact")
+    base = trace.depths[fifo]
+    rng = _random.Random(0xB47C)
+    configs = [{fifo: rng.randint(1, max(64, 4 * base))}
+               for _ in range(n_configs)]
+
+    sample = configs[:min(64, n_configs)]
+    scalar_rows = []
+    start = time.perf_counter()
+    for config in sample:
+        try:
+            scalar_rows.append(trace.resimulate(config))
+        except (ConstraintViolation, SimulationError):
+            scalar_rows.append(None)
+    scalar_sec = (time.perf_counter() - start) / len(sample)
+
+    entry = {
+        "params": params,
+        "design": name,
+        "fifo": fifo,
+        "configs": n_configs,
+        "supported": bool(numpy_available() and batch_supported(trace)),
+        "scalar_sec_per_config": round(scalar_sec, 6),
+        "scalar_configs_per_sec": round(1.0 / scalar_sec, 1),
+        "batch": {},
+    }
+    if not entry["supported"]:
+        return entry
+    resimulate_batch(trace, configs[:2])  # warm the cached plan
+    for size in batch_sizes:
+        start = time.perf_counter()
+        rows = []
+        for lo in range(0, n_configs, size):
+            rows.extend(resimulate_batch(trace, configs[lo:lo + size]))
+        seconds = time.perf_counter() - start
+        for config, row, ref in zip(sample, rows, scalar_rows):
+            check((row is None) == (ref is None),
+                  f"served-set mismatch at {config}")
+            if row is not None:
+                check(row.cycles == ref.cycles
+                      and row.module_end_times == ref.module_end_times
+                      and row.buffer_bits == ref.buffer_bits,
+                      f"batched row diverges at {config}")
+        entry["batch"][str(size)] = {
+            "seconds": round(seconds, 6),
+            "configs_per_sec": round(n_configs / seconds, 1),
+            "served": sum(1 for r in rows if r is not None),
+            "speedup_vs_scalar": round(scalar_sec * n_configs / seconds,
+                                       2),
+        }
+    return entry
 
 
 def bench_api(name: str, params: dict, runs: int, jobs: int,
@@ -430,6 +541,8 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     dse_sweeps = SMOKE_DSE_SWEEPS if smoke else DSE_SWEEPS
     api_batches = SMOKE_API_BATCHES if smoke else API_BATCHES
     trace_benches = SMOKE_TRACE_BENCHES if smoke else TRACE_BENCHES
+    batch_retime = (SMOKE_BATCH_RETIME_BENCHES if smoke
+                    else BATCH_RETIME_BENCHES)
     report = {
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -440,6 +553,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "groups": {},
         "retime": {},
         "dse": {},
+        "batch_retime": {},
         "api": {},
         "trace": {},
     }
@@ -473,16 +587,32 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" retime {entry['retime_cache_speedup']:.1f}x faster than"
             f" rebuild"
         )
-    for name, params, specs in dse_sweeps:
-        echo(f"dse sweep {name} ({', '.join(specs)}) ...")
+    for label, name, params, specs in dse_sweeps:
+        echo(f"dse sweep {label} ({', '.join(specs)}) ...")
         entry = bench_dse(name, params, specs)
-        report["dse"][name] = entry
+        report["dse"][label] = entry
         echo(
             f"  {entry['configs_per_sec']:,.1f} configs/s over"
             f" {entry['configs']} configurations"
             f" ({100 * entry['incremental_fraction']:.0f}% incremental,"
-            f" pareto size {entry['pareto_size']})"
+            f" pareto size {entry['pareto_size']},"
+            f" {entry['vectorize_speedup']:.2f}x vs scalar)"
         )
+    for label, name, params, fifo, n_configs, sizes in batch_retime:
+        echo(f"batch retime {label} ({fifo}, {n_configs} configs) ...")
+        entry = bench_batch_retime(name, params, fifo, n_configs, sizes)
+        report["batch_retime"][label] = entry
+        if entry["supported"]:
+            best = max(entry["batch"].values(),
+                       key=lambda b: b["configs_per_sec"])
+            echo(
+                f"  scalar {entry['scalar_configs_per_sec']:,.1f}"
+                f" configs/s vs vectorized"
+                f" {best['configs_per_sec']:,.1f} configs/s"
+                f" ({best['speedup_vs_scalar']:.1f}x)"
+            )
+        else:
+            echo("  vectorized kernel unavailable (scalar only)")
     for name, params, runs, jobs in api_batches:
         echo(f"api batch {name} ({runs} runs, jobs={jobs}) ...")
         entry = bench_api(name, params, runs, jobs)

@@ -194,7 +194,9 @@ def cmd_dse(args) -> int:
     space = DepthSpace.parse(specs)
     kwargs = dict(samples=args.samples, seed=args.seed, jobs=args.jobs,
                   executor=args.executor, trace_cache=args.trace_cache,
-                  timeout=args.timeout, max_retries=args.max_retries)
+                  timeout=args.timeout, max_retries=args.max_retries,
+                  vectorize=not args.no_vectorize,
+                  batch_size=args.batch_size)
     # Directory-sweep mode only when the argument cannot mean a registry
     # design — a stray local directory must not shadow a design name.
     known_name = (args.design in designs.ALIASES
@@ -216,6 +218,10 @@ def cmd_dse(args) -> int:
           f"  (jobs: {sweep.jobs})")
     print(f"incremental: {sweep.incremental_count}"
           f"  ({100 * sweep.incremental_fraction:.1f}%)")
+    modes = sweep.mode_counts
+    if modes:
+        print("modes      : " + ", ".join(
+            f"{mode}={count}" for mode, count in sorted(modes.items())))
     print(f"full resim : {sweep.full_count}")
     if sweep.deadlock_count:
         print(f"deadlocked : {sweep.deadlock_count}")
@@ -613,6 +619,16 @@ def main(argv=None) -> int:
                             metavar="N",
                             help="failures one configuration may accrue "
                                  "before it is quarantined (default 3)")
+    dse_parser.add_argument("--batch-size", type=int, default=None,
+                            metavar="B",
+                            help="configurations per vectorized "
+                                 "batch-retiming sweep (default 256); "
+                                 "rows the kernel declines fall back "
+                                 "to the scalar path one at a time")
+    dse_parser.add_argument("--no-vectorize", action="store_true",
+                            help="evaluate every configuration on the "
+                                 "scalar incremental path (disable the "
+                                 "NumPy batch-retiming kernel)")
 
     trace_parser = sub.add_parser(
         "trace", help="inspect / manage the on-disk trace cache",

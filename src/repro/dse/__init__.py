@@ -22,6 +22,10 @@ CLI: ``repro dse <design|spec.yaml|spec-dir> --range fifo=LO:HI
 """
 
 from .explorer import (
+    MODE_FULL,
+    MODE_SCALAR,
+    MODE_SCALAR_FALLBACK,
+    MODE_VECTORIZED,
     SOURCE_DEADLOCK,
     SOURCE_FULL,
     SOURCE_INCREMENTAL,
@@ -40,6 +44,10 @@ __all__ = [
     "DepthAxis",
     "DepthSpace",
     "Evaluator",
+    "MODE_FULL",
+    "MODE_SCALAR",
+    "MODE_SCALAR_FALLBACK",
+    "MODE_VECTORIZED",
     "SOURCE_DEADLOCK",
     "SOURCE_FULL",
     "SOURCE_INCREMENTAL",

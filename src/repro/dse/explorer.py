@@ -61,6 +61,14 @@ SOURCE_FULL = "full"
 SOURCE_DEADLOCK = "deadlock"
 SOURCE_QUARANTINED = "quarantined"
 
+#: evaluation modes — *how* the point's path ran (orthogonal to source):
+#: served by the batched NumPy kernel, by the scalar replay loop, by the
+#: scalar loop after the kernel declined the row, or by a full run
+MODE_VECTORIZED = "vectorized"
+MODE_SCALAR = "scalar"
+MODE_SCALAR_FALLBACK = "scalar-fallback"
+MODE_FULL = "full"
+
 
 @dataclass
 class SweepPoint:
@@ -78,6 +86,12 @@ class SweepPoint:
     seconds: float
     #: why the incremental path was abandoned, when it was
     detail: str | None = None
+    #: how the point was evaluated: :data:`MODE_VECTORIZED` (batched
+    #: NumPy kernel), :data:`MODE_SCALAR` (scalar replay),
+    #: :data:`MODE_SCALAR_FALLBACK` (kernel declined the row, scalar
+    #: replay re-ran it) or :data:`MODE_FULL`; None for quarantined
+    #: points and journals from before the field existed
+    mode: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -93,6 +107,7 @@ class SweepPoint:
             "source": self.source,
             "seconds": round(self.seconds, 6),
             "detail": self.detail,
+            "mode": self.mode,
         }
 
 
@@ -160,6 +175,17 @@ class SweepResult:
         """Sweep throughput (excludes the initial capture run)."""
         return self.evaluated / self.seconds if self.seconds > 0 else 0.0
 
+    @property
+    def mode_counts(self) -> dict:
+        """Evaluation-mode histogram (``vectorized`` /
+        ``scalar`` / ``scalar-fallback`` / ``full``; None keys from old
+        journals are dropped)."""
+        counts: dict = {}
+        for p in self.points:
+            if p.mode is not None:
+                counts[p.mode] = counts.get(p.mode, 0) + 1
+        return counts
+
     def pareto(self) -> list:
         """Non-dominated points: cycles (perf) vs buffer bits (area)."""
         return pareto_front(self.points)
@@ -186,6 +212,7 @@ class SweepResult:
             "deadlocked": self.deadlock_count,
             "quarantined": self.quarantined_count,
             "incremental_fraction": round(self.incremental_fraction, 4),
+            "modes": self.mode_counts,
             "capture": self.capture,
             "supervision": self.supervision,
             "capture_seconds": round(self.capture_seconds, 6),
@@ -223,7 +250,8 @@ class Evaluator:
             self._compiled = self._compile_fn()
         return self._compiled
 
-    def evaluate(self, config: dict) -> SweepPoint:
+    def evaluate(self, config: dict,
+                 _mode: str = MODE_SCALAR) -> SweepPoint:
         """Evaluate one depth configuration: incremental first, full
         OmniSim re-simulation (with graph re-capture) on divergence."""
         depths = dict(self.base_depths)
@@ -252,7 +280,48 @@ class Evaluator:
             buffer_bits=incremental.buffer_bits,
             source=SOURCE_INCREMENTAL,
             seconds=_time.perf_counter() - start,
+            mode=_mode,
         )
+
+    def evaluate_batch(self, configs) -> list:
+        """Evaluate many depth configurations at once: the batched
+        NumPy kernel (:func:`repro.trace.vectorized.resimulate_batch`)
+        serves every row whose recorded queries re-validate; declined
+        rows — a flipped constraint, invalid depths, or a whole-batch
+        downgrade (no NumPy, no all-depth order) — re-run one by one
+        through :meth:`evaluate`, which produces the identical point or
+        fallback.  Returns one :class:`SweepPoint` per config, in
+        order."""
+        configs = list(configs)
+        if len(configs) <= 1 or self.reference is None:
+            return [self.evaluate(config) for config in configs]
+        from ..trace.columnar import replay_trace
+        from ..trace.vectorized import batch_supported, resimulate_batch
+
+        trace = replay_trace(self.reference)
+        if trace is None or not batch_supported(trace):
+            return [self.evaluate(config) for config in configs]
+        full_maps = []
+        for config in configs:
+            depths = dict(self.base_depths)
+            depths.update(config)
+            full_maps.append(depths)
+        rows = resimulate_batch(trace, full_maps)
+        points = []
+        for config, inc in zip(configs, rows):
+            if inc is None:
+                points.append(self.evaluate(config,
+                                            _mode=MODE_SCALAR_FALLBACK))
+            else:
+                points.append(SweepPoint(
+                    depths=inc.depths,
+                    cycles=inc.cycles,
+                    buffer_bits=inc.buffer_bits,
+                    source=SOURCE_INCREMENTAL,
+                    seconds=inc.seconds,
+                    mode=MODE_VECTORIZED,
+                ))
+        return points
 
     def _evaluate_full(self, depths: dict, start: float,
                        detail: str) -> SweepPoint:
@@ -267,6 +336,7 @@ class Evaluator:
                 source=SOURCE_DEADLOCK,
                 seconds=_time.perf_counter() - start,
                 detail=str(exc),
+                mode=MODE_FULL,
             )
         # Re-capture: the divergent run's graph serves the neighbourhood.
         self.reference = fresh
@@ -277,6 +347,7 @@ class Evaluator:
             source=SOURCE_FULL,
             seconds=_time.perf_counter() - start,
             detail=detail,
+            mode=MODE_FULL,
         )
 
     def _buffer_bits(self, depths: dict) -> int:
@@ -307,6 +378,7 @@ class Evaluator:
 # because ProcessPoolExecutor tasks can only reach module globals.
 
 _WORKER_EVALUATOR: Evaluator | None = None
+_WORKER_BATCH_SIZE = 0
 
 
 def _make_compile_fn(design_ref):
@@ -331,32 +403,52 @@ def _load_reference(reference_spec):
 
 
 def _init_worker(design_ref, base_depths, executor,
-                 reference_spec) -> None:
-    global _WORKER_EVALUATOR
+                 reference_spec, batch_size: int = 0) -> None:
+    global _WORKER_EVALUATOR, _WORKER_BATCH_SIZE
     _WORKER_EVALUATOR = Evaluator(
         _load_reference(reference_spec), base_depths,
         _make_compile_fn(design_ref), executor
     )
+    _WORKER_BATCH_SIZE = batch_size
+
+
+def _evaluate_segment(configs) -> list:
+    """Evaluate a directive-free run of configs, batched when the
+    worker was initialized with a batch size."""
+    evaluator = _WORKER_EVALUATOR
+    if _WORKER_BATCH_SIZE > 1 and len(configs) > 1:
+        points = []
+        for lo in range(0, len(configs), _WORKER_BATCH_SIZE):
+            points.extend(evaluator.evaluate_batch(
+                configs[lo:lo + _WORKER_BATCH_SIZE]))
+        return points
+    return [evaluator.evaluate(config) for config in configs]
 
 
 def _evaluate_chunk(wire) -> list:
     """Supervised wire format: ``[(config, fault_directive), ...]`` —
     directives come from :class:`repro.exec.FaultPlan` and fire before
-    the evaluation they target."""
+    the evaluation they target.  Directive-free stretches evaluate as
+    one batch; a directive flushes the running batch first, so the
+    fault still fires immediately before its target config."""
     from ..exec.faults import apply_fault
 
     points = []
+    segment = []
     for config, directive in wire:
         if directive is not None:
+            points.extend(_evaluate_segment(segment))
+            segment = []
             apply_fault(directive)
-        points.append(_WORKER_EVALUATOR.evaluate(config))
+        segment.append(config)
+    points.extend(_evaluate_segment(segment))
     return points
 
 
 def _evaluate_chunk_bare(configs) -> list:
     """Legacy unsupervised chunk runner (the ``pool.map`` baseline the
     benchmark harness measures supervision overhead against)."""
-    return [_WORKER_EVALUATOR.evaluate(config) for config in configs]
+    return _evaluate_segment(list(configs))
 
 
 # ---------------------------------------------------------------------------
@@ -367,6 +459,7 @@ def explore(design, space, *, params: dict | None = None,
             executor: str | None = None, trace_cache=None,
             timeout: float | None = None, max_retries: int = 3,
             checkpoint=None, resume: bool = False, faults=None,
+            vectorize: bool = True, batch_size: int | None = None,
             _pool_mode: str = "supervised") -> SweepResult:
     """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
 
@@ -401,6 +494,16 @@ def explore(design, space, *, params: dict | None = None,
     :class:`repro.exec.FaultPlan`; default: the ``REPRO_FAULTS``
     environment variable).  The result's ``supervision`` block reports
     what the executor actually did.
+
+    ``vectorize`` (default True) evaluates configurations in batches
+    through the NumPy retiming kernel
+    (:mod:`repro.trace.vectorized`); rows the kernel declines fall
+    back to the scalar path one by one, so every point is bit-for-bit
+    what ``vectorize=False`` computes.  ``batch_size`` bounds rows per
+    kernel call (default
+    :data:`repro.trace.vectorized.DEFAULT_BATCH_SIZE`).  Each point's
+    ``mode`` field records the path that served it.  Without NumPy the
+    sweep transparently degrades to the scalar path.
     """
     from ..api import Session
     from ..exec import (
@@ -412,9 +515,16 @@ def explore(design, space, *, params: dict | None = None,
         run_serial,
     )
 
+    from ..trace.vectorized import DEFAULT_BATCH_SIZE
+
     fault_plan = resolve_plan(faults)
     policy = ExecPolicy(timeout=timeout, max_retries=max_retries,
                         seed=seed)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    effective_batch = batch_size if vectorize else 0
     if _pool_mode not in ("supervised", "bare"):
         raise ValueError(f"unknown _pool_mode {_pool_mode!r}")
     if _pool_mode == "bare" and (checkpoint is not None
@@ -561,7 +671,7 @@ def explore(design, space, *, params: dict | None = None,
                 max_workers=jobs,
                 initializer=_init_worker,
                 initargs=(design_ref, base_depths, executor,
-                          reference_spec),
+                          reference_spec, effective_batch),
             ) as pool:
                 points = [point
                           for chunk in pool.map(_evaluate_chunk_bare,
@@ -581,6 +691,9 @@ def explore(design, space, *, params: dict | None = None,
             results, report = run_serial(
                 pending, evaluator.evaluate, policy=policy,
                 fault_plan=fault_plan, record=record,
+                run_batch=(evaluator.evaluate_batch if vectorize
+                           else None),
+                batch_size=effective_batch,
             )
         else:
             reference_spec = _reference_spec(session, base, executor)
@@ -589,7 +702,7 @@ def explore(design, space, *, params: dict | None = None,
                     max_workers=jobs,
                     initializer=_init_worker,
                     initargs=(design_ref, base_depths, executor,
-                              reference_spec),
+                              reference_spec, effective_batch),
                 )
             supervisor = Supervisor(
                 pool_factory, _evaluate_chunk, jobs=jobs, policy=policy,

@@ -455,7 +455,7 @@ class Supervisor:
 
 
 def run_serial(units, run_unit, *, policy=None, fault_plan=None,
-               record=None):
+               record=None, run_batch=None, batch_size=0):
     """The ``jobs=1`` twin of :class:`Supervisor`: same retry, backoff
     and quarantine policy, same ``(results, report)`` shape, no pool.
 
@@ -465,9 +465,50 @@ def run_serial(units, run_unit, *, policy=None, fault_plan=None,
     interpreter); any :class:`~repro.errors.ReproError` escaping the
     evaluation is treated as transient and retried up to
     ``max_retries`` times before the unit is quarantined.
+
+    ``run_batch(payloads) -> [value, ...]`` is the optional batched
+    evaluator (the vectorized retiming path): when provided with
+    ``batch_size > 1`` and no fault plan, units are evaluated in
+    ``batch_size`` slices — ``record`` still fires once per unit, so
+    checkpoint granularity is unchanged.  A :class:`ReproError` escaping
+    a batch demotes that slice to the per-unit path above, which retries
+    and quarantines exactly as without batching.  Fault injection
+    always uses the per-unit path: directives target individual unit
+    indices and must fire immediately before their target's evaluation.
     """
     policy = policy if policy is not None else ExecPolicy()
     units = list(units)
+    if (run_batch is not None and batch_size > 1 and fault_plan is None
+            and len(units) > 1):
+        report = SupervisionReport(mode="serial", jobs=1,
+                                   units=len(units))
+        results: dict = {}
+        started = time.monotonic()
+        for lo in range(0, len(units), batch_size):
+            group = units[lo:lo + batch_size]
+            try:
+                values = run_batch([u.payload for u in group])
+            except ReproError:
+                # The batched path is an optimization, never a verdict:
+                # demote the slice to the per-unit loop, which owns
+                # retry/backoff/quarantine.
+                report.errors += 1
+                report.retries += 1
+                sub_results, sub = run_serial(group, run_unit,
+                                              policy=policy,
+                                              record=record)
+                results.update(sub_results)
+                report.retries += sub.retries
+                report.errors += sub.errors
+                report.crashes += sub.crashes
+                report.quarantined.extend(sub.quarantined)
+                continue
+            for unit, value in zip(group, values):
+                results[unit.index] = ("ok", value)
+                if record is not None:
+                    record(unit, "ok", value)
+        report.seconds = round(time.monotonic() - started, 6)
+        return results, report
     rng = random.Random(policy.seed)
     report = SupervisionReport(mode="serial", jobs=1, units=len(units))
     results: dict = {}

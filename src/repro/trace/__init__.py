@@ -9,6 +9,10 @@ makes it a first-class object shared by every producer and consumer:
   once and shipped with the artifact (pool workers never rebuild them),
   plus columnar ``retime``/``resimulate`` that are bit-for-bit equal to
   the object-graph path;
+* :mod:`.vectorized` — the NumPy batch-retiming kernel: whole depth
+  matrices (configs x FIFOs) retimed and constraint-checked as matrix
+  sweeps, with per-row scalar fallback (``REPRO_NO_NUMPY`` forces the
+  pure-Python path everywhere);
 * :class:`TraceStore` (:mod:`.store`) — schema-versioned, checksummed
   binary serialization and a content-addressed on-disk cache keyed by
   (design fingerprint, params, executor, schema version), so repeat
@@ -21,6 +25,13 @@ info|verify|gc`` manage it.
 """
 
 from .columnar import CONSTRAINT_KINDS, TraceArtifact, replay_trace
+from .vectorized import (
+    DEFAULT_BATCH_SIZE,
+    batch_supported,
+    numpy_available,
+    resimulate_batch,
+    retime_batch,
+)
 from .store import (
     ENV_VAR,
     SCHEMA_VERSION,
@@ -37,15 +48,20 @@ from .store import (
 __all__ = [
     "CONSTRAINT_KINDS",
     "CacheEntry",
+    "DEFAULT_BATCH_SIZE",
     "ENV_VAR",
     "SCHEMA_VERSION",
     "TraceArtifact",
     "TraceStore",
     "artifact_digest",
+    "batch_supported",
     "default_cache_dir",
     "design_fingerprint",
     "dumps_artifact",
     "loads_artifact",
+    "numpy_available",
     "replay_trace",
+    "resimulate_batch",
     "resolve_store",
+    "retime_batch",
 ]

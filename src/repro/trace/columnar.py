@@ -259,6 +259,9 @@ class TraceArtifact:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_view"] = None
+        # the vectorized batch plan (repro.trace.vectorized) holds NumPy
+        # arrays and rebuilds cheaply; never ship it across processes
+        state.pop("_vplan", None)
         return state
 
     # ------------------------------------------------------------------

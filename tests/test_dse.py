@@ -161,14 +161,30 @@ class TestExplorerFallback:
         # saturated run serves every deeper configuration incrementally.
         # Against the original depth-2 capture, all of those would have
         # violated — the tail of incremental points IS the re-capture.
+        # The monotone source tail is a property of strictly sequential
+        # evaluation, so pin vectorize=False here.
         compiled = compile_design(make_nb_design(depth=2))
-        sweep = explore(compiled, ["s1=1:32"])
+        sweep = explore(compiled, ["s1=1:32"], vectorize=False)
         sources = [p.source for p in sweep.points]
         assert SOURCE_FULL in sources
         assert sources[-1] == SOURCE_INCREMENTAL
         first_incremental = sources.index(SOURCE_INCREMENTAL)
         assert all(s == SOURCE_INCREMENTAL
                    for s in sources[first_incremental:])
+
+    def test_vectorized_default_matches_scalar_values(self):
+        # Batched evaluation may serve a row from the *original* capture
+        # that sequential evaluation only reaches after a re-capture, so
+        # source/mode labels can legitimately differ — but every value
+        # (cycles, buffer bits) must be bit-for-bit identical.
+        compiled = compile_design(make_nb_design(depth=2))
+        batched = explore(compiled, ["s1=1:32"])
+        scalar = explore(compiled, ["s1=1:32"], vectorize=False)
+        assert [(p.depths, p.cycles, p.buffer_bits) for p in batched.points] \
+            == [(p.depths, p.cycles, p.buffer_bits) for p in scalar.points]
+        assert all(p.source in (SOURCE_FULL, SOURCE_INCREMENTAL)
+                   for p in batched.points)
+        assert batched.mode_counts  # provenance recorded per point
 
     def test_every_point_matches_fresh_run(self):
         compiled = compile_design(make_nb_design(depth=2))
