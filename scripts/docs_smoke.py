@@ -12,8 +12,8 @@ Four checks (run one by name, or all by default):
   ``repro.api`` quickstart) and execute them (so the programmatic
   quickstart can never drift from the API);
 * ``design`` — assert DESIGN.md documents the vectorized batch-retiming
-  kernel (section 16) and run any ``python -m repro`` lines in its
-  fenced ``bash`` blocks;
+  kernel (section 16) and the fuzzing harness (section 17), and run
+  any ``python -m repro`` lines in its fenced ``bash`` blocks;
 * ``examples`` — parse, lower, compile and simulate every
   ``examples/*.yaml`` / ``*.json`` spec through a ``repro.api``
   session.
@@ -101,12 +101,16 @@ def check_api() -> int:
 
 def check_design() -> int:
     """DESIGN.md must document the vectorized kernel (section 16) and
-    its ``python -m repro`` command lines (if any) must run — same
-    drift guard the README gets."""
+    the fuzzing harness (section 17), and its ``python -m repro``
+    command lines (if any) must run — same drift guard the README
+    gets."""
     with open(os.path.join(ROOT, "DESIGN.md"), encoding="utf-8") as fh:
         design = fh.read()
     required = ["## 16. Vectorized batch retiming",
-                "resimulate_batch", "--no-vectorize"]
+                "resimulate_batch", "--no-vectorize",
+                "## 17. Coverage-guided differential fuzzing",
+                "run_differential", "tests/regressions/",
+                "REPRO_INJECT_COSIM_FINALITY_BUG"]
     failures = 0
     for needle in required:
         if needle not in design:

@@ -130,6 +130,23 @@ SMOKE_TRACE_BENCHES = [
     ("fig4_ex5", {"n": 100}, "fifo2", range(3, 9)),
 ]
 
+#: (modules, seed, count, retime configs) for the "huge" Type D family:
+#: generated designs with hundreds of modules (fan stages, feedback
+#: rings, NB lanes, AXI masters) — the scale story the paper's Fig. 8
+#: makes for event throughput, extended to the retiming path.
+# (modules, seed, count, n_configs) — seeds chosen so the captured
+# artifact keeps an all-depth order (no reorder pair): the rows then
+# measure the vectorized batch path, not just the scalar fallback
+HUGE_BENCHES = [
+    (100, 1, 16, 64),
+    (300, 0, 16, 64),
+    (1000, 4, 16, 32),
+]
+
+SMOKE_HUGE_BENCHES = [
+    (60, 0, 16, 16),
+]
+
 
 def _timed_run(session: Session, executor: str, repeats: int) -> dict:
     """Best-of-``repeats`` timing (one-shot numbers are jittery)."""
@@ -534,6 +551,51 @@ def _aggregate(entries: list[dict]) -> dict:
     return out
 
 
+def bench_huge(modules: int, seed: int, count: int, n_configs: int,
+               repeats: int = 1) -> dict:
+    """Events/sec and retiming configs/sec on one generated Type D
+    design — the module-count scaling record (100..1000 modules)."""
+    from .designs import dsl
+    from .trace.vectorized import batch_supported
+
+    build_start = time.perf_counter()
+    spec = dsl.generate("D", modules=modules, seed=seed, count=count)
+    session = Session.open(dsl.build_design(spec), trace_cache=False)
+    session.run(executor="compiled")  # warm: compile + closure lowering
+    build_seconds = time.perf_counter() - build_start
+
+    timed = _timed_run(session, "compiled", repeats)
+
+    baseline = session.baseline(executor="compiled")
+    depths = {n: ch.depth for n, ch in baseline.fifo_channels.items()}
+    fifos = sorted(depths)
+    configs = [{fifos[i % len(fifos)]: 1 + (i % 7)}
+               for i in range(n_configs)]
+    start = time.perf_counter()
+    rows = session.resimulate_many(configs)
+    retime_seconds = time.perf_counter() - start
+    declined = sum(1 for r in rows if r is None)
+
+    from .trace.columnar import replay_trace
+
+    art = replay_trace(baseline)
+    return {
+        "modules": modules,
+        "seed": seed,
+        "count": count,
+        "fifos": len(fifos),
+        "build_seconds": round(build_seconds, 4),
+        "cycles": timed["cycles"],
+        "events": timed["events"],
+        "events_per_sec": timed["events_per_sec"],
+        "cycles_per_sec": timed["cycles_per_sec"],
+        "retime_configs": n_configs,
+        "retime_declined": declined,
+        "batch_supported": (art is not None and batch_supported(art)),
+        "configs_per_sec": round(n_configs / retime_seconds, 1),
+    }
+
+
 def run_bench(smoke: bool = False, echo=print) -> dict:
     """Run the full benchmark matrix; returns the report dict."""
     groups = SMOKE_GROUPS if smoke else BENCH_GROUPS
@@ -543,6 +605,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     trace_benches = SMOKE_TRACE_BENCHES if smoke else TRACE_BENCHES
     batch_retime = (SMOKE_BATCH_RETIME_BENCHES if smoke
                     else BATCH_RETIME_BENCHES)
+    huge_benches = SMOKE_HUGE_BENCHES if smoke else HUGE_BENCHES
     report = {
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -556,6 +619,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "batch_retime": {},
         "api": {},
         "trace": {},
+        "huge": {},
     }
     repeats = 1 if smoke else 3
     for group, entries in groups.items():
@@ -623,6 +687,19 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" runs/s with {jobs} jobs"
             f" ({entry['speedup_vs_run_loop']:.2f}x,"
             f" {entry['incremental']}/{runs} incremental)"
+        )
+    for modules, seed, count, n_configs in huge_benches:
+        echo(f"huge family d{modules} (seed {seed}) ...")
+        entry = bench_huge(modules, seed, count, n_configs,
+                           repeats=repeats)
+        report["huge"][f"d{modules}"] = entry
+        echo(
+            f"  {entry['events_per_sec']:>12,.0f} ev/s"
+            f" ({entry['cycles_per_sec']:,.0f} cycles/s),"
+            f" retime {entry['configs_per_sec']:,.1f} configs/s over"
+            f" {entry['fifos']} fifos"
+            f" (batch={'yes' if entry['batch_supported'] else 'no'},"
+            f" {entry['retime_declined']} declined)"
         )
     for name, params, fifo, depth_range in trace_benches:
         echo(f"trace artifact {name} ({fifo}) ...")

@@ -317,6 +317,17 @@ def cmd_gen(args) -> int:
         else:
             print(text, end="")
         return 0
+    if (os.path.isdir(args.out_dir) and os.listdir(args.out_dir)
+            and not args.force):
+        # Silently interleaving a new batch with an old one corrupts
+        # corpus provenance (a dsse/fuzz run would sweep both).
+        raise SystemExit(
+            f"gen --batch: output dir {args.out_dir!r} is not empty; "
+            f"pass --force to overwrite it or choose a fresh directory")
+    if args.force and os.path.isdir(args.out_dir):
+        for name in os.listdir(args.out_dir):
+            if name.endswith((".yaml", ".json")):
+                os.unlink(os.path.join(args.out_dir, name))
     os.makedirs(args.out_dir, exist_ok=True)
     for i in range(args.batch):
         spec = dsl.generate(args.type, modules=args.modules,
@@ -326,6 +337,48 @@ def cmd_gen(args) -> int:
             fh.write(dsl.spec_to_yaml(spec))
         print(f"wrote {path}")
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from .fuzz import CampaignConfig, run_campaign, run_differential
+
+    if args.replay:
+        from .designs import dsl
+
+        spec = dsl.load_spec(args.replay)
+        report = run_differential(spec, max_cycles=args.max_cycles)
+        if report.divergence is None:
+            print(f"replay {args.replay}: all legs agree "
+                  f"({report.configs_checked} retiming configs checked)")
+            return 0
+        div = report.divergence
+        print(f"replay {args.replay}: DIVERGENCE ({div.kind}): "
+              f"{div.detail}")
+        for leg, outcome in sorted(div.legs.items()):
+            print(f"  {leg}: {outcome}")
+        return 5
+
+    config = CampaignConfig(
+        seed=args.seed, budget=args.budget, minutes=args.minutes,
+        corpus_dir=args.corpus, pin_dir=args.pin_dir,
+        checkpoint=args.checkpoint, resume=args.resume,
+        max_cycles=args.max_cycles,
+    )
+    report = run_campaign(config, log=print)
+    print(f"\nevaluated {report.evaluated} candidates "
+          f"({report.resumed} resumed) in {report.seconds:.1f}s; "
+          f"corpus {report.corpus}, "
+          f"{report.coverage_edges} coverage arcs, "
+          f"{report.quarantined} quarantined")
+    if not report.findings:
+        print("no divergence found")
+        return 0
+    for finding in report.findings:
+        print(f"finding: {finding.kind} -> {finding.spec_path}")
+        print(f"  {finding.detail}")
+        print(f"  replay: python -m repro fuzz --replay "
+              f"{finding.spec_path}")
+    return 5
 
 
 def _trace_store_for(args):
@@ -514,7 +567,7 @@ def main(argv=None) -> int:
                               help="output JSON path")
 
     gen_parser = sub.add_parser(
-        "gen", help="generate a design spec (seeded, Type A/B/C)",
+        "gen", help="generate a design spec (seeded, Type A/B/C/D)",
         formatter_class=fmt,
         epilog="examples:\n"
                "  omnisim gen --type A --modules 6 --seed 3          "
@@ -522,14 +575,19 @@ def main(argv=None) -> int:
                "  omnisim gen --type C --out drop.yaml               "
                "# write one spec file\n"
                "  omnisim gen --type B --batch 20 --out-dir corpus/  "
-               "# seeds S..S+19\n\n"
+               "# seeds S..S+19\n"
+               "  omnisim gen --type D --modules 300 --out huge.yaml "
+               "# 'huge' family\n\n"
                "the emitted spec is a pure function of (--type, --modules, "
                "--seed, --count);\nfeed specs back through `omnisim run` / "
                "`omnisim dse`",
     )
     gen_parser.add_argument("--type", required=True,
-                            choices=["A", "B", "C", "a", "b", "c"],
-                            help="taxonomy class of the generated design")
+                            choices=["A", "B", "C", "D",
+                                     "a", "b", "c", "d"],
+                            help="taxonomy class of the generated design "
+                                 "(D = huge: fan stages, rings, NB "
+                                 "lanes, AXI masters)")
     gen_parser.add_argument("--modules", type=int, default=4, metavar="N",
                             help="module count (default 4, minimum 2)")
     gen_parser.add_argument("--seed", type=int, default=0,
@@ -544,6 +602,11 @@ def main(argv=None) -> int:
                                  "into --out-dir")
     gen_parser.add_argument("--out-dir", metavar="DIR", default=None,
                             help="output directory for --batch")
+    gen_parser.add_argument("--force", action="store_true",
+                            help="with --batch: overwrite a non-empty "
+                                 "--out-dir (old *.yaml/*.json are "
+                                 "removed; without this flag a "
+                                 "non-empty directory is refused)")
 
     dse_parser = sub.add_parser(
         "dse", help="depth-space exploration (FIFO depth sweep)",
@@ -680,6 +743,60 @@ def main(argv=None) -> int:
                                "recently-used artifacts until the rest "
                                "fit in N bytes")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="coverage-guided differential fuzzing of the "
+                     "engines",
+        formatter_class=fmt,
+        description="Mutate generated design specs and run each "
+                    "candidate as a three-way differential: OmniSim "
+                    "compiled vs interpreted vs the cosim oracle, the "
+                    "columnar vs object retiming paths, and vectorized "
+                    "batch rows vs scalar answers.  Candidates that "
+                    "exercise new engine code arcs join the corpus; "
+                    "divergences are auto-minimized and pinned as "
+                    "replayable regression specs.",
+        epilog="examples:\n"
+               "  omnisim fuzz --budget 60 --seed 0\n"
+               "  omnisim fuzz --minutes 5 --pin-dir tests/regressions\n"
+               "  omnisim fuzz --budget 500 --checkpoint fuzz.ckpt "
+               "--resume\n"
+               "  omnisim fuzz --replay tests/regressions/"
+               "pin_engine_0123456789.yaml\n\n"
+               "exit codes: 0 all legs agree, 5 divergence found",
+    )
+    fuzz_parser.add_argument("--budget", type=int, default=200,
+                             metavar="N",
+                             help="candidate evaluations to spend "
+                                  "(default 200)")
+    fuzz_parser.add_argument("--minutes", type=float, default=None,
+                             metavar="M",
+                             help="wall-clock budget; stops early even "
+                                  "if --budget remains")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="campaign seed (default 0); the same "
+                                  "seed replays the same candidates")
+    fuzz_parser.add_argument("--corpus", metavar="DIR", default=None,
+                             help="extra seed specs (*.yaml/*.json) to "
+                                  "fuzz from, e.g. a `gen --batch` dir")
+    fuzz_parser.add_argument("--pin-dir", metavar="DIR",
+                             default="fuzz_pins",
+                             help="where minimized regression specs are "
+                                  "pinned (default: fuzz_pins/)")
+    fuzz_parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                             help="journal candidate verdicts to FILE "
+                                  "so an interrupted campaign can be "
+                                  "resumed")
+    fuzz_parser.add_argument("--resume", action="store_true",
+                             help="replay verdicts from --checkpoint "
+                                  "instead of re-simulating them")
+    fuzz_parser.add_argument("--max-cycles", type=int, default=200_000,
+                             metavar="N",
+                             help="cosim livelock guard per candidate "
+                                  "(default 200000)")
+    fuzz_parser.add_argument("--replay", metavar="SPEC", default=None,
+                             help="run the differential on one pinned "
+                                  "spec and exit (0 agree / 5 diverge)")
+
     classify_parser = sub.add_parser(
         "classify", help="taxonomy analysis (Type A/B/C)",
         formatter_class=fmt,
@@ -704,6 +821,7 @@ def main(argv=None) -> int:
         "classify": cmd_classify,
         "report": cmd_report,
         "gen": cmd_gen,
+        "fuzz": cmd_fuzz,
         "dse": cmd_dse,
         "trace": cmd_trace,
         "bench": cmd_bench,

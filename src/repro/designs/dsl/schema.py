@@ -5,7 +5,7 @@ A design spec is a plain mapping (typically parsed from YAML or JSON by
 
     design:       <name>                      # required
     description:  <one line>                  # optional
-    type:         A | B | C                   # declared taxonomy label
+    type:         A | B | C | D               # declared taxonomy label
     constants:    {n: 256, ...}               # named ints, overridable
     fifos:        [{name, type, depth}, ...]
     buffers:      [{name, type, size, init}, ...]
@@ -46,7 +46,7 @@ WRITE_MODES = ("blocking", "nb_retry", "nb_drop")
 #: sink termination protocols
 SINK_MODES = ("count", "sentinel", "poll")
 
-DESIGN_TYPES = ("A", "B", "C")
+DESIGN_TYPES = ("A", "B", "C", "D")
 
 _TYPE_RE = re.compile(
     r"^(?:(?P<int>[iu])(?P<iw>\d+)"

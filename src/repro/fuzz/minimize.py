@@ -1,0 +1,192 @@
+"""Greedy divergence minimization.
+
+Given a spec whose differential diverges, shrink it while preserving
+the finding, so the pinned regression is the smallest spec a human (or
+a later bisect) has to stare at.  The algorithm is classic ddmin-style
+greedy reduction with a strict invariant set:
+
+* every accepted step passes :func:`~repro.designs.dsl.schema.
+  validate_spec` **and** keeps the oracle true (same divergence kind);
+* reductions are tried in a fixed order with no randomness, so
+  minimization of the same finding is reproducible bit-for-bit;
+* each accepted step strictly shrinks a size measure (module count,
+  trip count, total depth, total ii), so the pass loop terminates;
+* the total number of oracle evaluations is capped (``max_evals``) —
+  an expensive oracle can time-box minimization and still emit a
+  valid, merely-less-minimal pin.
+
+Reduction passes, in order of expected payoff:
+
+1. drop pass-through workers (reconnecting their edge);
+2. shrink the shared trip count ``n`` (jump to small values, then
+   halve, then decrement);
+3. normalize FIFO depths to 1;
+4. normalize module ``ii`` to 1;
+5. neutralize worker ops to the identity affine.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..designs.dsl.schema import (
+    BufferSpec,
+    FifoSpec,
+    SpecError,
+    validate_spec,
+)
+from .mutate import _find_reader, _retarget_read
+
+
+def _clone(spec):
+    twin = copy.deepcopy(spec)
+    twin.fifo_writers = {}
+    twin.fifo_readers = {}
+    return twin
+
+
+def _valid(spec) -> bool:
+    try:
+        validate_spec(spec)
+    except SpecError:
+        return False
+    return True
+
+
+def _droppable_workers(spec):
+    return [m.name for m in spec.modules
+            if m.role == "worker"
+            and isinstance(m.params.get("in"), str)
+            and isinstance(m.params.get("out"), str)]
+
+
+def _drop_worker(spec, name) -> bool:
+    module = next((m for m in spec.modules if m.name == name), None)
+    if module is None:
+        return False
+    reader, field = _find_reader(spec, module.params["out"])
+    if reader is None:
+        return False
+    _retarget_read(reader, field, module.params["in"])
+    spec.modules.remove(module)
+    spec.fifos[:] = [f for f in spec.fifos
+                     if f.name != module.params["out"]]
+    return True
+
+
+def _shrink_candidates(n: int):
+    """Smaller values to try, most aggressive first, geometric toward
+    ``n`` so convergence costs O(log n) accepted steps, not O(n)."""
+    seen = set()
+    for candidate in (1, 2, 3, n // 2, (n * 3) // 4, (n * 7) // 8,
+                      n - 1):
+        if 1 <= candidate < n and candidate not in seen:
+            seen.add(candidate)
+            yield candidate
+
+
+def _reductions(spec):
+    """Yield ``(description, apply_fn)`` pairs in deterministic order;
+    each ``apply_fn(clone) -> bool`` edits a clone in place."""
+    for name in _droppable_workers(spec):
+        yield (f"drop worker {name}",
+               lambda s, name=name: _drop_worker(s, name))
+
+    n = spec.constants.get("n")
+    if isinstance(n, int):
+        for candidate in _shrink_candidates(n):
+            def shrink(s, candidate=candidate):
+                s.constants["n"] = candidate
+                return True
+            yield (f"n -> {candidate}", shrink)
+
+    for buffer in getattr(spec, "buffers", []):
+        init = buffer.init
+        if (isinstance(init, dict) and
+                (init.get("mul", 1) != 1 or init.get("add", 0) != 0)):
+            def flatten_init(s, name=buffer.name):
+                for i, b in enumerate(s.buffers):
+                    if b.name == name:
+                        plain = dict(b.init)
+                        plain["mul"] = 1
+                        plain["add"] = 0
+                        s.buffers[i] = BufferSpec(
+                            name=b.name, type=b.type, size=b.size,
+                            init=plain)
+                        return True
+                return False
+            yield (f"init({buffer.name}) -> identity", flatten_init)
+        if buffer.size > 1:
+            for size in _shrink_candidates(buffer.size):
+                def narrow(s, name=buffer.name, size=size):
+                    for i, b in enumerate(s.buffers):
+                        if b.name == name:
+                            s.buffers[i] = BufferSpec(
+                                name=b.name, type=b.type, size=size,
+                                init=b.init)
+                            return True
+                    return False
+                yield (f"size({buffer.name}) -> {size}", narrow)
+
+    for fifo in spec.fifos:
+        if fifo.depth > 1:
+            def flatten(s, name=fifo.name):
+                for i, f in enumerate(s.fifos):
+                    if f.name == name:
+                        s.fifos[i] = FifoSpec(name=f.name, type=f.type,
+                                              depth=1)
+                        return True
+                return False
+            yield (f"depth({fifo.name}) -> 1", flatten)
+
+    for module in spec.modules:
+        if module.params.get("ii", 1) != 1:
+            def calm(s, name=module.name):
+                for m in s.modules:
+                    if m.name == name:
+                        m.params["ii"] = 1
+                        return True
+                return False
+            yield (f"ii({module.name}) -> 1", calm)
+
+    for module in spec.modules:
+        op = module.params.get("op")
+        if module.role == "worker" and op and (
+                op.get("mul") != 1 or op.get("add") != 0):
+            def neutral(s, name=module.name):
+                for m in s.modules:
+                    if m.name == name:
+                        m.params["op"] = {"kind": "affine",
+                                          "mul": 1, "add": 0}
+                        return True
+                return False
+            yield (f"op({module.name}) -> identity", neutral)
+
+
+def minimize(spec, oracle, *, max_evals: int = 120):
+    """Shrink ``spec`` while ``oracle(candidate)`` stays true.
+
+    Returns ``(minimized_spec, evals_used, steps)`` where ``steps`` is
+    the accepted-reduction log.  The input spec is not modified; the
+    oracle is never called on the input itself (the caller already
+    knows it diverges).
+    """
+    best = _clone(spec)
+    evals = 0
+    steps: list = []
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for description, apply_fn in _reductions(best):
+            if evals >= max_evals:
+                break
+            candidate = _clone(best)
+            if not apply_fn(candidate) or not _valid(candidate):
+                continue
+            evals += 1
+            if oracle(candidate):
+                best = candidate
+                steps.append(description)
+                improved = True
+                break  # restart the pass over the smaller spec
+    return best, evals, steps

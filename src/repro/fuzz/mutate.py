@@ -1,0 +1,278 @@
+"""Seeded spec mutation operators.
+
+Every operator takes ``(spec, rng)``, mutates a deep copy **in place**
+and reports whether it changed anything; :func:`mutate` wraps them with
+validation so only specs that pass :func:`~repro.designs.dsl.schema.
+validate_spec` ever leave this module.  Invalid mutants are discarded,
+not repaired — the schema's role constraints are the ground truth for
+what a designable mutation is.
+
+The operator set mirrors the tentpole list:
+
+=================  ======================================================
+operator           effect
+=================  ======================================================
+splice_stage       insert a fresh worker on an existing FIFO edge
+drop_stage         remove a pass-through worker, reconnecting its edge
+retarget_fifos     swap the consumers of two FIFO edges
+flip_write_mode    producer ``blocking`` <-> ``nb_drop`` discipline
+perturb_depth      re-draw one FIFO's depth
+perturb_ii         re-draw one module's initiation interval (offset)
+perturb_count      re-draw the shared trip count ``n``
+perturb_op         re-draw one worker's affine op
+=================  ======================================================
+
+Mutants may legitimately deadlock — the differential harness treats
+"every engine deadlocks identically" as agreement, and divergent
+deadlocks are exactly the findings the fuzzer exists for.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..designs.dsl.schema import (
+    DslSpec,
+    FifoSpec,
+    ModuleSpec,
+    SpecError,
+    validate_spec,
+)
+
+_DEPTHS = (1, 1, 2, 2, 4, 8, 16, 32)
+_IIS = (1, 1, 2, 3, 5, 8)
+_COUNTS = (1, 2, 3, 5, 8, 13, 24, 48)
+
+
+# ---------------------------------------------------------------------------
+# read-endpoint helpers (who consumes a fifo, and via which param field)
+
+
+def _reader_field(module: ModuleSpec, fifo: str):
+    """The ``(param_key, index)`` through which ``module`` reads
+    ``fifo``, or ``None``.  ``index`` is the position for list-valued
+    ``in`` fields (combiner), else ``None``."""
+    if module.role is None:
+        return None  # source modules are never retargeted
+    value = module.params.get("in")
+    if value == fifo:
+        return ("in", None)
+    if isinstance(value, list) and fifo in value:
+        return ("in", value.index(fifo))
+    if module.role == "producer" and module.params.get("done") == fifo:
+        return ("done", None)
+    return None
+
+
+def _find_reader(spec: DslSpec, fifo: str):
+    for module in spec.modules:
+        field = _reader_field(module, fifo)
+        if field is not None:
+            return module, field
+    return None, None
+
+
+def _retarget_read(module: ModuleSpec, field, new_fifo: str) -> None:
+    key, index = field
+    if index is None:
+        module.params[key] = new_fifo
+    else:
+        module.params[key][index] = new_fifo
+
+
+def _fresh_fifo_name(spec: DslSpec) -> str:
+    taken = {f.name for f in spec.fifos}
+    i = len(spec.fifos)
+    while f"fx{i}" in taken:
+        i += 1
+    return f"fx{i}"
+
+
+def _fresh_module_name(spec: DslSpec) -> str:
+    taken = {m.name for m in spec.modules}
+    i = len(spec.modules)
+    while f"mx{i}" in taken:
+        i += 1
+    return f"mx{i}"
+
+
+def _sentinel_reader(module: ModuleSpec) -> bool:
+    return module.params.get("mode") == "sentinel"
+
+
+# ---------------------------------------------------------------------------
+# operators
+
+
+def op_perturb_depth(spec, rng) -> bool:
+    if not spec.fifos:
+        return False
+    i = rng.randrange(len(spec.fifos))
+    fifo = spec.fifos[i]
+    depth = rng.choice(_DEPTHS)
+    if depth == fifo.depth:
+        depth = depth + 1
+    spec.fifos[i] = FifoSpec(name=fifo.name, type=fifo.type, depth=depth)
+    return True
+
+
+def op_perturb_ii(spec, rng) -> bool:
+    candidates = [m for m in spec.modules
+                  if m.role in ("producer", "worker", "splitter",
+                                "combiner", "sink")]
+    if not candidates:
+        return False
+    module = rng.choice(candidates)
+    module.params["ii"] = rng.choice(_IIS)
+    return True
+
+
+def op_perturb_count(spec, rng) -> bool:
+    if "n" not in spec.constants:
+        return False
+    old = spec.constants["n"]
+    new = rng.choice(_COUNTS)
+    if new == old:
+        new = max(1, old - 1)
+    spec.constants["n"] = new
+    return True
+
+
+def op_perturb_op(spec, rng) -> bool:
+    workers = [m for m in spec.modules
+               if m.role == "worker" and "op" in m.params]
+    if not workers:
+        return False
+    module = rng.choice(workers)
+    sentinel = _sentinel_reader(module)
+    module.params["op"] = {
+        "kind": "affine",
+        "mul": rng.choice((1, 2, 3, 5)),
+        "add": rng.randint(0, 7) if sentinel else rng.randint(-4, 7),
+    }
+    return True
+
+
+def op_flip_write_mode(spec, rng) -> bool:
+    """``blocking`` <-> ``nb_drop`` on a done-less producer (the only
+    flip that is always locally repairable: nb_retry needs a done fifo,
+    which would need a whole new edge)."""
+    producers = [m for m in spec.modules
+                 if m.role == "producer" and "done" not in m.params
+                 and "count" in m.params]
+    if not producers:
+        return False
+    module = rng.choice(producers)
+    if module.params.get("write", "blocking") == "nb_drop":
+        module.params["write"] = "blocking"
+        module.params.pop("dropped", None)
+    else:
+        module.params["write"] = "nb_drop"
+    return True
+
+
+def op_splice_stage(spec, rng) -> bool:
+    """Insert a fresh pass-through worker on one FIFO edge."""
+    candidates = []
+    for fifo in spec.fifos:
+        reader, field = _find_reader(spec, fifo.name)
+        if reader is None or field[0] == "done":
+            continue  # never splice into a done handshake
+        candidates.append((fifo, reader, field))
+    if not candidates:
+        return False
+    fifo, reader, field = candidates[rng.randrange(len(candidates))]
+    sentinel = _sentinel_reader(reader) or reader.params.get("mode") == "poll"
+    if not sentinel and "n" not in spec.constants:
+        return False
+    new_fifo = _fresh_fifo_name(spec)
+    spec.fifos.append(FifoSpec(name=new_fifo, type=fifo.type,
+                               depth=rng.choice(_DEPTHS)))
+    params = {"in": fifo.name, "out": new_fifo,
+              "op": {"kind": "affine", "mul": 1,
+                     "add": rng.randint(0, 3)},
+              "ii": rng.choice((1, 1, 2))}
+    if sentinel:
+        params["mode"] = "sentinel"
+    else:
+        params["count"] = "n"
+    spec.modules.append(ModuleSpec(name=_fresh_module_name(spec),
+                                   role="worker", params=params))
+    _retarget_read(reader, field, new_fifo)
+    return True
+
+
+def op_drop_stage(spec, rng) -> bool:
+    """Remove one single-in/single-out worker, reconnecting its reader
+    to its input edge."""
+    workers = [m for m in spec.modules
+               if m.role == "worker"
+               and isinstance(m.params.get("in"), str)
+               and isinstance(m.params.get("out"), str)]
+    if not workers:
+        return False
+    module = rng.choice(workers)
+    reader, field = _find_reader(spec, module.params["out"])
+    if reader is None:
+        return False
+    _retarget_read(reader, field, module.params["in"])
+    spec.modules.remove(module)
+    spec.fifos[:] = [f for f in spec.fifos
+                     if f.name != module.params["out"]]
+    return True
+
+
+def op_retarget_fifos(spec, rng) -> bool:
+    """Swap the consumers of two FIFO edges (keeps the one-writer/
+    one-reader invariant; may well produce a deadlocking topology,
+    which is a feature)."""
+    swappable = []
+    for fifo in spec.fifos:
+        reader, field = _find_reader(spec, fifo.name)
+        if reader is not None and field[0] == "in":
+            swappable.append((fifo, reader, field))
+    if len(swappable) < 2:
+        return False
+    (fa, ra, pa), (fb, rb, pb) = rng.sample(swappable, 2)
+    if fa.type != fb.type:
+        return False  # keep payload protocols intact
+    _retarget_read(ra, pa, fb.name)
+    _retarget_read(rb, pb, fa.name)
+    return True
+
+
+#: (operator, weight) — weights bias toward the structure-changing ops
+#: the coverage signal responds to
+OPERATORS = (
+    (op_splice_stage, 3),
+    (op_drop_stage, 2),
+    (op_retarget_fifos, 1),
+    (op_flip_write_mode, 2),
+    (op_perturb_depth, 3),
+    (op_perturb_ii, 2),
+    (op_perturb_count, 2),
+    (op_perturb_op, 1),
+)
+
+
+def mutate(spec: DslSpec, rng, max_tries: int = 12):
+    """One validated mutant of ``spec``, or ``None`` when ``max_tries``
+    draws all came back unchanged or invalid.
+
+    Returns ``(mutant, operator_name)``; the mutant keeps the parent's
+    name (the campaign renames candidates when it adopts them).
+    """
+    ops = [op for op, weight in OPERATORS for _ in range(weight)]
+    for _ in range(max_tries):
+        op = rng.choice(ops)
+        mutant = copy.deepcopy(spec)
+        mutant.fifo_writers = {}
+        mutant.fifo_readers = {}
+        try:
+            if not op(mutant, rng):
+                continue
+            validate_spec(mutant)
+        except SpecError:
+            continue
+        return mutant, op.__name__
+    return None

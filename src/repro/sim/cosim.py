@@ -17,6 +17,7 @@ clock-stepped.
 
 from __future__ import annotations
 
+import os as _os
 import time as _time
 
 from ..errors import DeadlockError, SimulationError
@@ -69,6 +70,14 @@ class CoSimulator:
         self.step_limit = step_limit
         self.max_cycles = max_cycles
         self.executor = resolve_executor(executor)
+        # Test-only fault switch: restore the pre-fix finality guard on
+        # *successful* query outcomes (the spurious-deadlock bug the
+        # differential fuzzer originally caught).  The fuzz-smoke CI job
+        # sets it to prove the fuzzer still finds, minimizes and pins
+        # that divergence; it must never be set in production runs.
+        self._inject_finality_bug = _os.environ.get(
+            "REPRO_INJECT_COSIM_FINALITY_BUG", ""
+        ) not in ("", "0")
 
     # ------------------------------------------------------------------
 
@@ -397,7 +406,7 @@ class CoSimulator:
             success = fifo.can_write_at(ready)
         else:
             success = fifo.can_read_at(ready)
-        if not success and not forced \
+        if (not success or self._inject_finality_bug) and not forced \
                 and not self._occupancy_final_before(run, ready):
             return False
 

@@ -1,0 +1,68 @@
+"""Coverage signal: arc collection backends and the campaign map."""
+
+import sys
+
+import pytest
+
+from repro import compile_design
+from repro.designs import dsl
+from repro.fuzz import CoverageHook, CoverageMap, TARGET_MODULES
+from repro.fuzz.coverage import target_files
+from repro.sim.registry import run_engine
+
+
+def _small_run():
+    spec = dsl.generate("A", modules=3, seed=0, count=8)
+    compiled = compile_design(dsl.build_design(spec))
+    return run_engine("omnisim", compiled)
+
+
+def test_target_files_resolve():
+    files = target_files()
+    assert files, "no target modules resolved"
+    names = set(files.values())
+    assert "omnisim" in names
+    assert "cosim" in names
+
+
+@pytest.mark.parametrize("backend", ["settrace", "monitoring"])
+def test_hook_records_engine_arcs(backend):
+    if backend == "monitoring" and not hasattr(sys, "monitoring"):
+        pytest.skip("sys.monitoring needs Python 3.12+")
+    with CoverageHook(backend=backend) as hook:
+        _small_run()
+    assert hook.edges, f"{backend} backend recorded nothing"
+    short_names = {name.rsplit(".", 1)[-1] for name in TARGET_MODULES}
+    assert {name for name, _, _ in hook.edges} <= short_names
+    # arcs, not just lines: consecutive-line pairs carry a predecessor
+    assert any(prev is not None for _, prev, _ in hook.edges)
+
+
+def test_hook_restores_trace_state():
+    before = sys.gettrace()
+    with CoverageHook(backend="settrace"):
+        pass
+    assert sys.gettrace() is before
+
+
+def test_hook_is_deterministic_for_deterministic_runs():
+    def collect():
+        with CoverageHook(backend="settrace") as hook:
+            _small_run()
+        return hook.edges
+
+    assert collect() == collect()
+
+
+def test_map_merge_counts_only_new():
+    cmap = CoverageMap()
+    first = {("omnisim", 1, 2), ("omnisim", 2, 3)}
+    assert cmap.merge(first) == 2
+    assert cmap.merge(first) == 0
+    assert cmap.merge({("omnisim", 2, 3), ("cosim", 5, 6)}) == 1
+    assert len(cmap) == 3
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        CoverageHook(backend="dtrace")

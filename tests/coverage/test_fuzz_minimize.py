@@ -1,0 +1,71 @@
+"""Minimization invariants: validity, finding preservation,
+determinism, termination under a budget."""
+
+import pytest
+
+from repro.designs import dsl
+from repro.designs.dsl.schema import validate_spec
+from repro.fuzz import minimize, run_differential
+
+
+def _diverging_spec():
+    spec = dsl.generate("C", modules=3, seed=1, count=24)
+    twin = dsl.parse_spec(dsl.spec_to_yaml(spec))
+    twin.constants["n"] = 48
+    return twin
+
+
+def _engine_oracle(candidate):
+    report = run_differential(candidate)
+    return (report.divergence is not None
+            and report.divergence.kind == "engine")
+
+
+@pytest.fixture()
+def injected(monkeypatch):
+    monkeypatch.setenv("REPRO_INJECT_COSIM_FINALITY_BUG", "1")
+
+
+def test_minimize_shrinks_and_preserves(injected):
+    parent = _diverging_spec()
+    assert _engine_oracle(parent)
+    small, evals, steps = minimize(parent, _engine_oracle,
+                                   max_evals=120)
+    assert evals <= 120
+    assert steps, "expected at least one accepted reduction"
+    validate_spec(small)
+    assert _engine_oracle(small), "minimization lost the finding"
+    assert len(small.modules) < len(parent.modules)
+    assert small.constants["n"] < parent.constants["n"]
+    # the input spec is never touched
+    assert parent.constants["n"] == 48
+
+
+def test_minimize_is_deterministic(injected):
+    parent = _diverging_spec()
+    first, _, steps_a = minimize(parent, _engine_oracle, max_evals=80)
+    second, _, steps_b = minimize(parent, _engine_oracle, max_evals=80)
+    assert steps_a == steps_b
+    assert dsl.spec_to_yaml(first) == dsl.spec_to_yaml(second)
+
+
+def test_minimize_respects_eval_budget(injected):
+    parent = _diverging_spec()
+    small, evals, _ = minimize(parent, _engine_oracle, max_evals=5)
+    assert evals <= 5
+    validate_spec(small)
+    assert _engine_oracle(small)
+
+
+def test_minimize_on_stubborn_oracle_returns_input_shape():
+    parent = _diverging_spec()
+    calls = []
+
+    def never(candidate):
+        calls.append(1)
+        return False
+
+    small, evals, steps = minimize(parent, never, max_evals=30)
+    assert steps == []
+    assert evals == len(calls) <= 30
+    assert dsl.spec_to_yaml(small) == dsl.spec_to_yaml(parent)

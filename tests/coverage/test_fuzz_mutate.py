@@ -1,0 +1,117 @@
+"""Mutation operators: every emitted mutant is schema-valid, draws are
+deterministic, and each operator does what its name says."""
+
+import random
+
+import pytest
+
+from repro.designs import dsl
+from repro.designs.dsl.schema import validate_spec
+from repro.fuzz import OPERATORS, mutate
+from repro.fuzz.mutate import (
+    op_drop_stage,
+    op_flip_write_mode,
+    op_perturb_count,
+    op_perturb_depth,
+    op_splice_stage,
+)
+
+_OP_NAMES = {op.__name__ for op, _ in OPERATORS}
+
+
+def _rng(seed=0):
+    return random.Random(("test-mutate", seed).__repr__())
+
+
+@pytest.mark.parametrize("family,modules", [
+    ("A", 4), ("B", 4), ("C", 3), ("D", 14),
+])
+def test_mutants_always_validate(family, modules):
+    parent = dsl.generate(family, modules=modules, seed=1, count=16)
+    rng = _rng()
+    produced = 0
+    for _ in range(40):
+        drawn = mutate(parent, rng)
+        if drawn is None:
+            continue
+        mutant, op_name = drawn
+        assert op_name in _OP_NAMES
+        validate_spec(mutant)  # raises SpecError on a bad mutant
+        produced += 1
+    assert produced >= 30, "mutation should almost always succeed"
+
+
+def test_mutation_is_deterministic():
+    parent = dsl.generate("C", modules=4, seed=2, count=16)
+
+    def draw_series():
+        rng = _rng(7)
+        out = []
+        for _ in range(12):
+            drawn = mutate(parent, rng)
+            if drawn is not None:
+                out.append((drawn[1], dsl.spec_to_yaml(drawn[0])))
+        return out
+
+    assert draw_series() == draw_series()
+
+
+def test_mutate_never_modifies_parent():
+    parent = dsl.generate("B", modules=5, seed=3, count=16)
+    before = dsl.spec_to_yaml(parent)
+    rng = _rng(1)
+    for _ in range(20):
+        mutate(parent, rng)
+    assert dsl.spec_to_yaml(parent) == before
+
+
+def test_splice_adds_worker_and_fifo():
+    spec = dsl.generate("A", modules=3, seed=0, count=8)
+    twin = dsl.parse_spec(dsl.spec_to_yaml(spec))
+    assert op_splice_stage(twin, _rng(4))
+    validate_spec(twin)
+    assert len(twin.modules) == len(spec.modules) + 1
+    assert len(twin.fifos) == len(spec.fifos) + 1
+
+
+def test_drop_removes_worker_and_reconnects():
+    spec = dsl.generate("A", modules=5, seed=0, count=8)
+    twin = dsl.parse_spec(dsl.spec_to_yaml(spec))
+    assert op_drop_stage(twin, _rng(5))
+    validate_spec(twin)
+    assert len(twin.modules) == len(spec.modules) - 1
+    assert len(twin.fifos) == len(spec.fifos) - 1
+
+
+def test_flip_write_mode_round_trips():
+    spec = dsl.generate("A", modules=3, seed=0, count=8)
+    twin = dsl.parse_spec(dsl.spec_to_yaml(spec))
+    producer = next(m for m in twin.modules if m.role == "producer")
+    original = producer.params.get("write", "blocking")
+    assert op_flip_write_mode(twin, _rng(6))
+    validate_spec(twin)
+    flipped = producer.params.get("write", "blocking")
+    assert flipped != original
+    assert op_flip_write_mode(twin, _rng(6))
+    validate_spec(twin)
+    assert producer.params.get("write", "blocking") == original
+
+
+def test_perturb_count_changes_n():
+    spec = dsl.generate("C", modules=3, seed=1, count=24)
+    twin = dsl.parse_spec(dsl.spec_to_yaml(spec))
+    assert op_perturb_count(twin, _rng(8))
+    validate_spec(twin)
+    assert twin.constants["n"] != spec.constants["n"]
+
+
+def test_perturb_depth_changes_one_fifo():
+    spec = dsl.generate("B", modules=4, seed=0, count=16)
+    twin = dsl.parse_spec(dsl.spec_to_yaml(spec))
+    assert op_perturb_depth(twin, _rng(9))
+    validate_spec(twin)
+    changed = [
+        (a.name, a.depth, b.depth)
+        for a, b in zip(spec.fifos, twin.fifos) if a.depth != b.depth
+    ]
+    assert len(changed) == 1

@@ -1,0 +1,21 @@
+"""Performance-floor tests are opt-in: they are collected everywhere
+but skipped unless the run asks for them with ``-m perf`` (wall-clock
+floors are only meaningful on a quiet machine)."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock performance floor (skipped unless -m perf)")
+
+
+def pytest_collection_modifyitems(config, items):
+    markexpr = config.getoption("markexpr", "") or ""
+    if "perf" in markexpr:
+        return
+    skip = pytest.mark.skip(reason="perf floor: opt in with -m perf")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,35 @@
+"""Throughput floors on the huge (Type D) design family.
+
+Floors are deliberately an order of magnitude under the numbers in
+``PERFORMANCE_RESULTS.md`` so they only trip on real regressions
+(algorithmic blowups, accidental quadratic scans), not CI noise.
+"""
+
+import pytest
+
+from repro.bench import bench_huge
+
+pytestmark = pytest.mark.perf
+
+
+def test_huge_design_event_throughput_floor():
+    entry = bench_huge(300, 0, 16, 16)
+    assert entry["modules"] == 300
+    # measured ~60k events/s, ~10k cycles/s on the reference runner
+    assert entry["events_per_sec"] > 5_000
+    assert entry["cycles_per_sec"] > 1_000
+
+
+def test_huge_design_retiming_floor():
+    entry = bench_huge(100, 1, 16, 32)
+    # seed 1 keeps an all-depth order -> the batch kernel serves the
+    # sweep; measured ~900 configs/s, scalar fallback alone clears 100
+    assert entry["batch_supported"]
+    assert entry["configs_per_sec"] > 50
+
+
+def test_huge_design_builds_quickly():
+    entry = bench_huge(1000, 4, 16, 8)
+    # generate + lower + compile + first run of 1000 modules: ~1-2 s
+    # measured; the floor catches super-linear blowups only
+    assert entry["build_seconds"] < 30

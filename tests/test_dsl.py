@@ -142,7 +142,7 @@ class TestMalformedSpecs:
                    "unknown field(s) ['fifo']")
 
     def test_bad_design_type(self):
-        self.check("design: x\ntype: D\nmodules: []\n", "A/B/C", "'D'")
+        self.check("design: x\ntype: E\nmodules: []\n", "A/B/C/D", "'E'")
 
     def test_no_modules(self):
         self.check("design: x\nmodules: []\n", "at least one module")

@@ -9,7 +9,13 @@ across the OmniSim executors and the cycle-stepped co-simulation oracle
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import compile_design
 from repro.analysis import classify
@@ -175,3 +181,103 @@ modules:
         for sweep in swept:
             assert sweep.evaluated == 4
             assert len(sweep.pareto()) >= 1
+
+
+class TestTypeDHugeFamily:
+    """The scale-out family: a fan-in/fan-out backbone plus seed-chosen
+    satellite clusters (blocking feedback ring, NB drop lane,
+    independent AXI masters)."""
+
+    @pytest.mark.parametrize("modules", [2, 12, 50, 200])
+    def test_module_budget_is_exact(self, modules):
+        for seed in range(4):
+            spec = dsl.generate("D", modules=modules, seed=seed, count=4)
+            assert len(spec.modules) == modules, (seed, spec.name)
+
+    def test_satellite_clusters_appear_across_seeds(self):
+        rings = axi = nb = 0
+        for seed in range(10):
+            spec = dsl.generate("D", modules=40, seed=seed, count=4)
+            names = {m.name for m in spec.modules}
+            rings += "ring_ctl" in names
+            axi += any(n.startswith("axi_m") for n in names)
+            nb += any(m.params.get("write") == "nb_drop"
+                      for m in spec.modules)
+        assert rings and axi and nb, (rings, axi, nb)
+
+    def test_fan_stages_appear(self):
+        # the backbone's fan-out/fan-in stages are drawn per seed; they
+        # must show up somewhere in a small seed range
+        fanned = 0
+        for seed in range(6):
+            spec = dsl.generate("D", modules=60, seed=seed, count=4)
+            names = {m.name for m in spec.modules}
+            fanned += (any(n.startswith("split") for n in names)
+                       and any(n.startswith("join") for n in names))
+        assert fanned >= 3, fanned
+
+    def test_huge_design_runs_and_reparses(self):
+        spec = dsl.generate("D", modules=60, seed=1, count=4)
+        reparsed = dsl.parse_spec(dsl.spec_to_yaml(spec))
+        a = OmniSimulator(compile_design(dsl.build_design(spec))).run()
+        b = OmniSimulator(compile_design(
+            dsl.build_design(reparsed))).run()
+        assert (a.cycles, a.scalars) == (b.cycles, b.scalars)
+
+    def test_axi_masters_have_private_regions(self):
+        # find a seed with >= 2 masters; they must not share memory
+        for seed in range(12):
+            spec = dsl.generate("D", modules=40, seed=seed, count=4)
+            regions = [a.name for a in spec.axi]
+            if len(regions) >= 2:
+                assert len(set(regions)) == len(regions)
+                return
+        pytest.fail("no multi-master seed found in range(12)")
+
+
+#: child program for the cross-process determinism check: reads
+#: (type, modules, seed, count) lines on stdin, emits the generated
+#: YAML NUL-separated on stdout
+_CHILD_PROG = """\
+import sys
+from repro.designs import dsl
+for line in sys.stdin:
+    t, m, s, c = line.split()
+    spec = dsl.generate(t, modules=int(m), seed=int(s), count=int(c))
+    sys.stdout.write(dsl.spec_to_yaml(spec))
+    sys.stdout.write("\\x00")
+"""
+
+
+class TestCrossProcessDeterminism:
+    """Satellite: generation is a pure function of its arguments even
+    across interpreter boundaries.  A fresh subprocess with a *different*
+    ``PYTHONHASHSEED`` must render byte-identical YAML — any hidden
+    dependence on hash order, set iteration or interpreter state would
+    break corpus sharing and fuzz-campaign resume."""
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(requests=st.lists(
+        st.tuples(st.sampled_from("ABCD"),
+                  st.integers(min_value=1, max_value=15).map(
+                      lambda k: 2 * k),
+                  st.integers(min_value=0, max_value=999),
+                  st.integers(min_value=1, max_value=64)),
+        min_size=1, max_size=6, unique=True),
+        hashseed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_fresh_process_renders_identical_yaml(self, requests,
+                                                  hashseed):
+        local = [dsl.spec_to_yaml(dsl.generate(
+            t, modules=m, seed=s, count=c)) for t, m, s, c in requests]
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.abspath(src),
+                   PYTHONHASHSEED=str(hashseed))
+        feed = "".join(f"{t} {m} {s} {c}\n" for t, m, s, c in requests)
+        proc = subprocess.run([sys.executable, "-c", _CHILD_PROG],
+                              input=feed, capture_output=True,
+                              text=True, env=env, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        remote = proc.stdout.split("\x00")[:-1]
+        assert remote == local

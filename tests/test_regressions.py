@@ -1,0 +1,54 @@
+"""Pinned fuzz regressions replay clean.
+
+Every ``tests/regressions/pin_*.yaml`` is a spec the fuzzer once
+minimized from a real divergence (see the ``.json`` sidecar for the
+campaign seed, the discovery mutation and the replay command).  On a
+healthy engine every pin must pass the full three-way differential —
+a failure here means a pinned bug regressed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.designs import dsl
+from repro.fuzz import run_differential
+
+PIN_DIR = os.path.join(os.path.dirname(__file__), "regressions")
+PINS = sorted(
+    name for name in os.listdir(PIN_DIR) if name.endswith(".yaml")
+) if os.path.isdir(PIN_DIR) else []
+
+
+def test_at_least_one_pin_is_shipped():
+    assert PINS, "tests/regressions/ lost its pinned specs"
+
+
+@pytest.mark.parametrize("pin", PINS)
+def test_pin_replays_clean(pin):
+    spec = dsl.load_spec(os.path.join(PIN_DIR, pin))
+    report = run_differential(spec)
+    assert report.divergence is None, (
+        f"pinned regression {pin} diverges again: "
+        f"{report.divergence.detail} {report.divergence.legs}")
+
+
+@pytest.mark.parametrize("pin", PINS)
+def test_pin_sidecar_records_provenance(pin):
+    sidecar_path = os.path.join(PIN_DIR, pin[:-len(".yaml")] + ".json")
+    assert os.path.exists(sidecar_path), f"{pin} has no sidecar"
+    sidecar = json.loads(open(sidecar_path).read())
+    for field in ("kind", "detail", "campaign_seed", "candidate",
+                  "origin", "command", "legs"):
+        assert field in sidecar, f"{pin} sidecar missing {field!r}"
+    assert "--replay" in sidecar["command"]
+    assert os.path.basename(pin) in sidecar["command"]
+
+
+@pytest.mark.parametrize("pin", PINS)
+def test_pin_replay_is_deterministic(pin):
+    spec = dsl.load_spec(os.path.join(PIN_DIR, pin))
+    first = run_differential(spec)
+    second = run_differential(spec)
+    assert first.legs == second.legs
