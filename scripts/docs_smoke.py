@@ -2,7 +2,7 @@
 """Docs smoke checks: the README quickstarts must actually run, and
 every checked-in example spec must parse and simulate.
 
-Four checks (run one by name, or all by default):
+Five checks (run one by name, or all by default):
 
 * ``quickstart`` — extract every ``python -m repro ...`` line (plus the
   ``rm -f /tmp/...`` lines that reset demo state) from the README's
@@ -12,13 +12,21 @@ Four checks (run one by name, or all by default):
   ``repro.api`` quickstart) and execute them (so the programmatic
   quickstart can never drift from the API);
 * ``design`` — assert DESIGN.md documents the vectorized batch-retiming
-  kernel (section 16) and the fuzzing harness (section 17), and run
-  any ``python -m repro`` lines in its fenced ``bash`` blocks;
+  kernel (section 16), the fuzzing harness (section 17) and the
+  simulation service (section 18), and run any ``python -m repro``
+  lines in its fenced ``bash`` blocks;
+* ``service`` — start an in-process ``repro serve`` instance and
+  exercise the README's "Simulation as a service" claims end to end:
+  cold then warm run, incremental depth override, sweep, structured
+  deadlock error, graceful drain (the service quickstart is fenced as
+  ``console``, so the ``quickstart`` extractor never tries to run the
+  long-lived server as a one-shot command);
 * ``examples`` — parse, lower, compile and simulate every
   ``examples/*.yaml`` / ``*.json`` spec through a ``repro.api``
   session.
 
-Usage: ``python scripts/docs_smoke.py [quickstart|api|design|examples]``
+Usage: ``python scripts/docs_smoke.py
+[quickstart|api|design|service|examples]``
 (run from the repository root; sets ``PYTHONPATH=src`` for children).
 """
 
@@ -110,7 +118,9 @@ def check_design() -> int:
                 "resimulate_batch", "--no-vectorize",
                 "## 17. Coverage-guided differential fuzzing",
                 "run_differential", "tests/regressions/",
-                "REPRO_INJECT_COSIM_FINALITY_BUG"]
+                "REPRO_INJECT_COSIM_FINALITY_BUG",
+                "## 18. Simulation as a service",
+                "SingleFlight", "STATUS_TABLE", "/v1/meta"]
     failures = 0
     for needle in required:
         if needle not in design:
@@ -132,6 +142,73 @@ def check_design() -> int:
                   f"{proc.stderr}")
     print(f"design: {len(required) + len(commands) - failures}/"
           f"{len(required) + len(commands)} checks ok")
+    return 1 if failures else 0
+
+
+def check_service() -> int:
+    """The README's service claims, executed: start a server, hit the
+    documented endpoints, assert the documented labels and statuses,
+    drain cleanly."""
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import http.client
+    import json
+
+    from repro.service import serve_in_thread
+
+    def post(port, path, doc):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            conn.request("POST", path, json.dumps(doc))
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    failures = 0
+
+    def check(label, cond):
+        nonlocal failures
+        if cond:
+            print(f"ok: {label}")
+        else:
+            failures += 1
+            print(f"FAIL: {label}")
+
+    handle = serve_in_thread(workers=4)
+    try:
+        status, doc = post(handle.port, "/v1/run",
+                           {"design": "fig4_ex5"})
+        check("cold run (200, capture=cold)",
+              status == 200 and doc["capture"] == "cold"
+              and doc["cycles"] > 0)
+        cold_cycles = doc.get("cycles")
+        status, doc = post(handle.port, "/v1/run",
+                           {"design": "fig4_ex5"})
+        check("warm run (capture=hot, same cycles)",
+              status == 200 and doc["capture"] == "hot"
+              and doc["cycles"] == cold_cycles)
+        status, doc = post(handle.port, "/v1/run",
+                           {"design": "fig4_ex5",
+                            "depths": {"fifo2": 8}})
+        check("depth override (serving=incremental)",
+              status == 200 and doc["serving"] == "incremental")
+        status, doc = post(handle.port, "/v1/sweep",
+                           {"design": "fig4_ex5",
+                            "space": ["fifo2=1:8"]})
+        check("sweep (8 evaluated, pareto reported)",
+              status == 200 and doc["evaluated"] == 8
+              and doc["pareto"])
+        status, doc = post(handle.port, "/v1/run",
+                           {"design": "deadlock"})
+        check("deadlock maps to 422 / exit 2",
+              status == 422 and doc["type"] == "DeadlockError"
+              and doc["exit_code"] == 2)
+    finally:
+        handle.stop()
+    check("graceful drain (server thread exited)",
+          not handle._thread.is_alive())
+    total = 6
+    print(f"service: {total - failures}/{total} checks ok")
     return 1 if failures else 0
 
 
@@ -162,7 +239,8 @@ def check_examples() -> int:
 
 def main(argv) -> int:
     which = argv[1] if len(argv) > 1 else "all"
-    if which not in ("all", "quickstart", "api", "design", "examples"):
+    if which not in ("all", "quickstart", "api", "design", "service",
+                     "examples"):
         print(__doc__)
         return 2
     status = 0
@@ -172,6 +250,8 @@ def main(argv) -> int:
         status |= check_api()
     if which in ("all", "design"):
         status |= check_design()
+    if which in ("all", "service"):
+        status |= check_service()
     if which in ("all", "examples"):
         status |= check_examples()
     return status

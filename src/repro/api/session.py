@@ -27,10 +27,18 @@ Lifecycle and caching rules (DESIGN.md section 13):
   entirely (the baseline then carries the columnar artifact but no
   object graph); fresh captures are written back for the next process;
 * a session assumes its design is immutable; re-open (or
-  ``baseline(refresh=True)``) after mutating a design object in place.
+  ``baseline(refresh=True)``) after mutating a design object in place;
+* sessions are **thread-safe for caching**: concurrent first-touch
+  calls to :attr:`compiled` / :meth:`baseline` from many threads (the
+  simulation service dispatches requests to a thread pool) perform
+  exactly one compile and one capture — an internal re-entrant lock
+  serializes cache fills, and every later call is a lock-free-in-effect
+  cached read.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..sim.context import resolve_executor
 from ..sim.registry import run_engine, validate_depth_names, validate_depths
@@ -57,6 +65,10 @@ class Session:
         self._compiled = None
         #: executor name -> captured baseline OmniSim run
         self._baselines: dict = {}
+        # Serializes compile/capture cache fills so concurrent threads
+        # (service worker pool) never duplicate the expensive work;
+        # re-entrant because baseline() compiles under the same lock.
+        self._lock = threading.RLock()
 
     @classmethod
     def open(cls, design, *, executor: str | None = None,
@@ -86,9 +98,12 @@ class Session:
 
     @property
     def compiled(self):
-        """The compiled design (front-end + scheduling), built once."""
+        """The compiled design (front-end + scheduling), built once —
+        even under concurrent first-touch from many threads."""
         if self._compiled is None:
-            self._compiled = self._compile_fn()
+            with self._lock:
+                if self._compiled is None:
+                    self._compiled = self._compile_fn()
         return self._compiled
 
     @property
@@ -123,27 +138,44 @@ class Session:
         key = resolve_executor(executor if executor is not None
                                else self.executor)
         if refresh or key not in self._baselines:
-            result = None
-            store = self.trace_store
-            digest = (self.trace_digest(key) if store is not None
-                      else None)
-            if not refresh and digest is not None:
-                artifact = store.get(digest)
-                if artifact is not None:
-                    result = artifact.to_result()
-                    result.phase_seconds["capture"] = "warm"
-            if result is None:
-                result = run_engine("omnisim", self.compiled,
-                                    executor=key)
-                result.phase_seconds["capture"] = "cold"
-                if digest is not None:
-                    from ..trace.columnar import replay_trace
-
-                    artifact = replay_trace(result, executor=key)
-                    if artifact is not None:
-                        store.put(digest, artifact)
-            self._baselines[key] = result
+            with self._lock:
+                if refresh or key not in self._baselines:
+                    self._baselines[key] = self._capture_baseline(
+                        key, refresh)
         return self._baselines[key]
+
+    def has_baseline(self, executor: str | None = None) -> bool:
+        """Whether the baseline for ``executor`` is already cached
+        in-memory (no compile, capture or disk I/O is triggered) —
+        what the simulation service consults to label a request
+        ``hot`` before dispatching a capture."""
+        key = resolve_executor(executor if executor is not None
+                               else self.executor)
+        return key in self._baselines
+
+    def _capture_baseline(self, key: str, refresh: bool):
+        """The baseline cache fill (store lookup, else capture +
+        write-back); runs under ``_lock``."""
+        result = None
+        store = self.trace_store
+        digest = (self.trace_digest(key) if store is not None
+                  else None)
+        if not refresh and digest is not None:
+            artifact = store.get(digest)
+            if artifact is not None:
+                result = artifact.to_result()
+                result.phase_seconds["capture"] = "warm"
+        if result is None:
+            result = run_engine("omnisim", self.compiled,
+                                executor=key)
+            result.phase_seconds["capture"] = "cold"
+            if digest is not None:
+                from ..trace.columnar import replay_trace
+
+                artifact = replay_trace(result, executor=key)
+                if artifact is not None:
+                    store.put(digest, artifact)
+        return result
 
     @property
     def graph(self):
@@ -350,8 +382,9 @@ class Session:
     def close(self) -> None:
         """Drop cached artifacts (the session stays usable; artifacts
         rebuild on next use)."""
-        self._compiled = None
-        self._baselines.clear()
+        with self._lock:
+            self._compiled = None
+            self._baselines.clear()
 
     def __enter__(self) -> "Session":
         return self

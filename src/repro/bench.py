@@ -26,7 +26,12 @@ repository's performance trajectory file.  Three headline metrics:
   (content-addressed load) baseline acquisition through the
   ``repro.trace`` cache, plus flat-column vs object-graph retime
   throughput (the "trace" section; warm must be >= 5x cold and the
-  columnar retime must not regress the PR 1 edge-cached baseline).
+  columnar retime must not regress the PR 1 edge-cached baseline);
+* **service latency** — a live ``repro serve`` instance hit over real
+  HTTP from persistent-connection clients: cold (compile + capture)
+  request latency vs warm (pooled in-memory baseline) p50/p99 at
+  concurrency 1/8/32, plus requests/sec per level (the "service"
+  section; warm p50 must be >= 10x faster than the cold request).
 
 ``--smoke`` runs a single small design of each kind so CI can guard
 against perf-path regressions without paying the full suite.
@@ -128,6 +133,17 @@ TRACE_BENCHES = [
 
 SMOKE_TRACE_BENCHES = [
     ("fig4_ex5", {"n": 100}, "fifo2", range(3, 9)),
+]
+
+#: (design, params, concurrency levels, warm requests per level) for the
+#: service benchmark: a live ``repro serve`` instance queried over real
+#: HTTP keep-alive connections (the "service" section).
+SERVICE_BENCHES = [
+    ("fig4_ex5", {"n": 800}, (1, 8, 32), 192),
+]
+
+SMOKE_SERVICE_BENCHES = [
+    ("fig4_ex5", {"n": 100}, (1, 8), 48),
 ]
 
 #: (modules, seed, count, retime configs) for the "huge" Type D family:
@@ -596,6 +612,122 @@ def bench_huge(modules: int, seed: int, count: int, n_configs: int,
     }
 
 
+def _percentile(ordered: list, q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list."""
+    idx = max(0, min(len(ordered) - 1,
+                     int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def bench_service(name: str, params: dict, levels, requests: int) -> dict:
+    """Service-layer latency and throughput (the ``repro serve`` story).
+
+    Starts a real server (``serve_in_thread``) and measures over real
+    HTTP with persistent connections:
+
+    * **cold vs warm** — the first request pays compile + capture
+      (``capture: "cold"``); repeats are answered from the pooled
+      session's in-memory baseline (``"hot"``).  The acceptance bar is
+      warm p50 >= 10x faster than the cold request.
+    * **p50/p99 per concurrency level** — each level runs its own set
+      of keep-alive client threads against the same server, released
+      together through a barrier; requests/sec is measured over the
+      whole level's wall clock.
+    """
+    import http.client
+    import threading
+
+    from .service import serve_in_thread
+
+    # Explicit raises, not asserts: these acceptance checks must also
+    # fire under `python -O` (the repo runs a stripped-assert CI tier).
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            raise RuntimeError(f"service bench invariant failed: {what}")
+
+    body = json.dumps({"design": name, "params": params})
+    handle = serve_in_thread(workers=4, trace_cache=False)
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                          timeout=600)
+        start = time.perf_counter()
+        conn.request("POST", "/v1/run", body)
+        resp = conn.getresponse()
+        doc = json.loads(resp.read())
+        cold_seconds = time.perf_counter() - start
+        conn.close()
+        check(resp.status == 200, f"cold run failed: {doc}")
+        check(doc.get("capture") == "cold", "first request was not cold")
+        cycles = doc["cycles"]
+
+        warm = {}
+        for level in levels:
+            per_thread = max(1, requests // level)
+            latencies = [[] for _ in range(level)]
+            failures = []
+            barrier = threading.Barrier(level + 1)
+
+            def worker(slot, barrier=barrier, latencies=latencies,
+                       failures=failures, per_thread=per_thread):
+                client = http.client.HTTPConnection(
+                    "127.0.0.1", handle.port, timeout=600)
+                try:
+                    # Throwaway request: opens the keep-alive
+                    # connection so the timed loop measures only the
+                    # serving path, not TCP setup.
+                    client.request("POST", "/v1/run", body)
+                    json.loads(client.getresponse().read())
+                    barrier.wait()
+                    for _ in range(per_thread):
+                        t0 = time.perf_counter()
+                        client.request("POST", "/v1/run", body)
+                        r = client.getresponse()
+                        d = json.loads(r.read())
+                        latencies[slot].append(time.perf_counter() - t0)
+                        if r.status != 200 or d.get("cycles") != cycles:
+                            failures.append(d)
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(level)]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            wall_start = time.perf_counter()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - wall_start
+            check(not failures,
+                  f"warm request failed or diverged at concurrency"
+                  f" {level}")
+            flat = sorted(x for lane in latencies for x in lane)
+            warm[str(level)] = {
+                "requests": len(flat),
+                "rps": round(len(flat) / wall, 1),
+                "p50_ms": round(_percentile(flat, 0.50) * 1000, 3),
+                "p99_ms": round(_percentile(flat, 0.99) * 1000, 3),
+            }
+    finally:
+        handle.stop()
+
+    warm_p50 = warm[str(levels[0])]["p50_ms"] / 1000.0
+    speedup = cold_seconds / warm_p50 if warm_p50 > 0 else float("inf")
+    check(speedup >= 10,
+          f"warm p50 ({warm_p50 * 1000:.2f} ms) is not >=10x faster"
+          f" than the cold request ({cold_seconds * 1000:.0f} ms)")
+    return {
+        "design": name,
+        "params": params,
+        "workers": 4,
+        "cycles": cycles,
+        "cold_seconds": round(cold_seconds, 4),
+        "cold_rps": round(1.0 / cold_seconds, 2),
+        "warm": warm,
+        "warm_p50_speedup_vs_cold": round(speedup, 1),
+    }
+
+
 def run_bench(smoke: bool = False, echo=print) -> dict:
     """Run the full benchmark matrix; returns the report dict."""
     groups = SMOKE_GROUPS if smoke else BENCH_GROUPS
@@ -606,6 +738,8 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     batch_retime = (SMOKE_BATCH_RETIME_BENCHES if smoke
                     else BATCH_RETIME_BENCHES)
     huge_benches = SMOKE_HUGE_BENCHES if smoke else HUGE_BENCHES
+    service_benches = (SMOKE_SERVICE_BENCHES if smoke
+                       else SERVICE_BENCHES)
     report = {
         "generated_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
@@ -620,6 +754,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "api": {},
         "trace": {},
         "huge": {},
+        "service": {},
     }
     repeats = 1 if smoke else 3
     for group, entries in groups.items():
@@ -712,6 +847,18 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" {entry['artifact_bytes'] / 1024:.0f} KiB on disk),"
             f" flat retime {entry['flat_vs_object_retime']:.2f}x the"
             f" object path"
+        )
+    for name, params, levels, n_requests in service_benches:
+        echo(f"service {name} (concurrency {'/'.join(map(str, levels))})"
+             " ...")
+        entry = bench_service(name, params, levels, n_requests)
+        report["service"][name] = entry
+        top = entry["warm"][str(max(levels))]
+        echo(
+            f"  cold {entry['cold_seconds'] * 1000:.0f} ms, warm p50"
+            f" {entry['warm'][str(levels[0])]['p50_ms']:.2f} ms"
+            f" ({entry['warm_p50_speedup_vs_cold']:.0f}x faster),"
+            f" {top['rps']:,.0f} req/s at concurrency {max(levels)}"
         )
     return report
 

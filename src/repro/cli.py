@@ -19,7 +19,11 @@ Commands:
   across processes; see ``--trace-cache`` on ``run``/``dse`` and the
   ``REPRO_TRACE_CACHE`` environment variable);
 * ``bench [--smoke] [--out FILE]`` — run the performance benchmark
-  matrix and write ``BENCH_perf.json``.
+  matrix and write ``BENCH_perf.json``;
+* ``serve [--host H] [--port P] [--workers N]`` — simulation as a
+  service: an asyncio HTTP/JSON server multiplexing concurrent clients
+  over pooled warm Session baselines (see ``repro.service`` and
+  DESIGN.md section 18).
 
 Wherever a ``<design>`` argument is accepted it may be a registry name
 (``repro list``), a benchmark-group alias (``typea_large``), or a path
@@ -42,7 +46,15 @@ from . import bench as bench_module
 from . import designs
 from .analysis import render_table
 from .api import Session
-from .errors import DeadlockError, ReproError, UnsupportedDesignError
+from .errors import (
+    EXIT_DIVERGENCE,
+    EXIT_INTERRUPTED,
+    EXIT_SIM_FAILURE,
+    DeadlockError,
+    ReproError,
+    UnsupportedDesignError,
+    exit_code_for,
+)
 from .sim import EXECUTORS, engine_names, get_engine
 
 
@@ -148,10 +160,10 @@ def cmd_run(args) -> int:
                                  depths=depths)
     except DeadlockError as exc:
         print(f"DEADLOCK DETECTED: {exc}")
-        return 2
+        return exit_code_for(exc)
     except UnsupportedDesignError as exc:
         print(f"UNSUPPORTED: {exc}")
-        return 3
+        return exit_code_for(exc)
     print(f"design     : {result.design_name}")
     print(f"simulator  : {result.simulator}")
     capture = result.phase_seconds.get("capture")
@@ -173,7 +185,7 @@ def cmd_run(args) -> int:
           f"  (queries: {result.stats.queries})")
     print(f"frontend   : {result.frontend_seconds:.3f} s")
     print(f"execution  : {result.execute_seconds:.3f} s")
-    return 4 if result.failure else 0
+    return EXIT_SIM_FAILURE if result.failure else 0
 
 
 def cmd_bench(args) -> int:
@@ -356,7 +368,7 @@ def cmd_fuzz(args) -> int:
               f"{div.detail}")
         for leg, outcome in sorted(div.legs.items()):
             print(f"  {leg}: {outcome}")
-        return 5
+        return EXIT_DIVERGENCE
 
     config = CampaignConfig(
         seed=args.seed, budget=args.budget, minutes=args.minutes,
@@ -378,7 +390,7 @@ def cmd_fuzz(args) -> int:
         print(f"  {finding.detail}")
         print(f"  replay: python -m repro fuzz --replay "
               f"{finding.spec_path}")
-    return 5
+    return EXIT_DIVERGENCE
 
 
 def _trace_store_for(args):
@@ -452,23 +464,16 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def _parse_size(text: str) -> int:
+def _parse_size(text: str, flag: str = "--max-bytes") -> int:
     """Byte sizes with optional K/M/G suffix (binary units): ``64M``."""
-    text = str(text).strip()
-    scale = 1
-    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
-    if text and text[-1].lower() in suffixes:
-        scale = suffixes[text[-1].lower()]
-        text = text[:-1]
+    from .trace.store import parse_size
+
     try:
-        value = int(text)
+        return parse_size(text)
     except ValueError:
         raise SystemExit(
-            f"--max-bytes expects N[K|M|G], got {text!r}"
+            f"{flag} expects N[K|M|G], got {text!r}"
         ) from None
-    if value < 0:
-        raise SystemExit("--max-bytes must be >= 0")
-    return value * scale
 
 
 def cmd_classify(args) -> int:
@@ -501,6 +506,35 @@ def cmd_report(args) -> int:
     print("\n('?' = latency not statically determinable; "
           "run a simulator for dynamic cycles)")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import ServiceConfig, serve
+
+    if args.workers < 1:
+        raise SystemExit(f"serve --workers must be >= 1, "
+                         f"got {args.workers}")
+    if args.max_inflight < 1:
+        raise SystemExit(f"serve --max-inflight must be >= 1, "
+                         f"got {args.max_inflight}")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_body=_parse_size(args.max_body, flag="--max-body"),
+        max_configs=args.max_configs,
+        deadline=(None if args.deadline == 0 else args.deadline),
+        max_inflight=args.max_inflight,
+        max_sessions=args.max_sessions,
+        executor=args.executor,
+        trace_cache=args.trace_cache,
+    )
+    try:
+        return serve(config)
+    except KeyboardInterrupt:
+        # Platforms without loop signal handlers land here; the drain
+        # already ran as far as it could.
+        return 0
 
 
 #: design-argument help shared by every command that takes one
@@ -814,6 +848,75 @@ def main(argv=None) -> int:
     )
     report_parser.add_argument("design", help=_DESIGN_HELP)
 
+    serve_parser = sub.add_parser(
+        "serve", help="simulation as a service (async HTTP/JSON "
+                      "server)",
+        formatter_class=fmt,
+        description="Run the asyncio HTTP/JSON simulation service: "
+                    "POST /v1/run, /v1/sweep, /v1/classify and "
+                    "/v1/report accept a registry design name or an "
+                    "inline DSL spec; concurrent requests for the same "
+                    "design share one pooled warm baseline (exactly "
+                    "one compile+capture per design, params and "
+                    "executor).  GET /healthz and /v1/meta report "
+                    "liveness and pool statistics.  SIGTERM drains "
+                    "gracefully and exits 0.",
+        epilog="examples:\n"
+               "  omnisim serve --port 8080 --workers 4\n"
+               "  curl -s localhost:8080/v1/run -d "
+               "'{\"design\": \"fig4_ex5\"}'\n"
+               "  curl -s localhost:8080/v1/sweep -d '{\"design\": "
+               "\"fig4_ex5\", \"space\": [\"fifo2=1:8\"]}'\n\n"
+               "--port 0 picks a free port (printed on the "
+               "'listening on' line)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1; "
+                                   "this server is unauthenticated — "
+                                   "expose it deliberately)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="TCP port (default 8080; 0 = pick a "
+                                   "free port)")
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              metavar="N",
+                              help="worker threads for CPU-bound "
+                                   "evaluation (default 4)")
+    serve_parser.add_argument("--max-body", metavar="N[K|M|G]",
+                              default="2M",
+                              help="request body size limit; larger "
+                                   "bodies get HTTP 413 (default 2M)")
+    serve_parser.add_argument("--max-configs", type=int, default=4096,
+                              metavar="N",
+                              help="most configurations one sweep "
+                                   "request may evaluate (default "
+                                   "4096; beyond it HTTP 413)")
+    serve_parser.add_argument("--deadline", type=float, default=120.0,
+                              metavar="SECONDS",
+                              help="default + maximum per-request "
+                                   "wall-clock deadline; expiry is "
+                                   "HTTP 504 (default 120; 0 = no "
+                                   "limit)")
+    serve_parser.add_argument("--max-inflight", type=int, default=64,
+                              metavar="N",
+                              help="concurrent in-flight request "
+                                   "limit; beyond it HTTP 429 "
+                                   "(default 64)")
+    serve_parser.add_argument("--max-sessions", type=int, default=32,
+                              metavar="N",
+                              help="warm sessions kept pooled (LRU "
+                                   "eviction beyond it; default 32)")
+    serve_parser.add_argument("--executor", choices=sorted(EXECUTORS),
+                              default=None,
+                              help="default Func Sim executor for "
+                                   "pooled sessions")
+    serve_parser.add_argument("--trace-cache", metavar="DIR",
+                              default=None,
+                              help="enable the on-disk trace cache "
+                                   "there: restarts reload captured "
+                                   "baselines warm instead of "
+                                   "recapturing (REPRO_TRACE_CACHE "
+                                   "also enables it)")
+
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -825,14 +928,18 @@ def main(argv=None) -> int:
         "dse": cmd_dse,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "serve": cmd_serve,
     }[args.command]
     try:
         return handler(args)
     except ReproError as exc:
         # Includes UnknownDesignError: registry lookups report a hint
-        # listing every valid name and alias.
+        # listing every valid name and alias.  The exit code comes from
+        # the same errors.STATUS_TABLE the HTTP service maps statuses
+        # from (deadlock/unsupported are already handled inside cmd_run
+        # with their richer messages).
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     except KeyboardInterrupt:
         # Flush any open checkpoint journal before going down so the
         # interrupted sweep stays resumable, then exit with the
@@ -845,7 +952,7 @@ def main(argv=None) -> int:
                   file=sys.stderr)
         if not flushed:
             print("interrupted", file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -201,3 +201,87 @@ class CheckpointError(ReproError):
     not a journal file, identity mismatch with the current sweep (other
     design/space/digest), or an existing journal reused without
     ``resume``."""
+
+
+class WireError(ReproError):
+    """A service request/response failed wire-schema validation
+    (``repro.service.wire``): malformed JSON, a missing/mistyped field,
+    an unknown field, or an unsupported ``schema_version``."""
+
+
+class ServiceLimitError(ReproError):
+    """Base class for per-request limits enforced by the simulation
+    service (``repro.service``).  Each subclass maps to one HTTP status
+    in :data:`STATUS_TABLE`; none of them ever aborts the server."""
+
+
+class RequestTooLargeError(ServiceLimitError):
+    """The request body exceeds the server's ``max_body`` byte limit,
+    or a sweep names more configurations than ``max_configs`` allows
+    (HTTP 413)."""
+
+
+class ServerBusyError(ServiceLimitError):
+    """The server is at its concurrent in-flight request limit, or is
+    draining for shutdown; the client should retry later (HTTP 429)."""
+
+
+class DeadlineError(ServiceLimitError):
+    """The request's wall-clock deadline expired before evaluation
+    finished (HTTP 504).  The underlying computation may still complete
+    and warm the session pool for the next attempt."""
+
+
+# ---------------------------------------------------------------------------
+# exception -> (CLI exit code, HTTP status)
+#
+# The single source of truth for how library failures surface at the
+# process boundary: ``repro.cli`` turns exceptions into exit codes and
+# ``repro.service`` turns the same exceptions into HTTP statuses, both
+# through this table.  First ``isinstance`` match wins, so more-derived
+# classes must precede their bases (``ReproError`` is the final
+# catch-all); a parity test asserts that ordering.
+
+#: conventional CLI exit codes (``repro run --help`` documents 0-4)
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_DEADLOCK = 2
+EXIT_UNSUPPORTED = 3
+EXIT_SIM_FAILURE = 4
+EXIT_DIVERGENCE = 5
+EXIT_INTERRUPTED = 130
+
+#: (exception class, CLI exit code, HTTP status) — first match wins
+STATUS_TABLE: tuple = (
+    (DeadlockError, EXIT_DEADLOCK, 422),
+    (UnsupportedDesignError, EXIT_UNSUPPORTED, 422),
+    (UnknownDesignError, EXIT_ERROR, 404),
+    (UnknownEngineError, EXIT_ERROR, 400),
+    (UnknownFifoError, EXIT_ERROR, 400),
+    (SpecError, EXIT_ERROR, 400),
+    (DseError, EXIT_ERROR, 400),
+    (WireError, EXIT_ERROR, 400),
+    (RequestTooLargeError, EXIT_ERROR, 413),
+    (ServerBusyError, EXIT_ERROR, 429),
+    (DeadlineError, EXIT_ERROR, 504),
+    (ChunkTimeoutError, EXIT_ERROR, 504),
+    (CheckpointError, EXIT_ERROR, 409),
+    (ReproError, EXIT_ERROR, 500),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for a library exception (1 when unmapped)."""
+    for cls, code, _status in STATUS_TABLE:
+        if isinstance(exc, cls):
+            return code
+    return EXIT_ERROR
+
+
+def http_status_for(exc: BaseException) -> int:
+    """The HTTP status the service reports for a library exception
+    (500 when unmapped — never a raw traceback on the wire)."""
+    for cls, _code, status in STATUS_TABLE:
+        if isinstance(exc, cls):
+            return status
+    return 500

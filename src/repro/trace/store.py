@@ -58,8 +58,44 @@ _HEAD = struct.Struct("<4sI32sQ")  # magic, version, sha256, header len
 #: "0"/"off"/"false"/"no"/"" disables; unset = disabled.
 ENV_VAR = "REPRO_TRACE_CACHE"
 
+#: size bound for automatic LRU eviction on write (``N[K|M|G]``); unset
+#: or empty = unbounded (manual ``repro trace gc --max-bytes`` only).
+MAX_BYTES_ENV_VAR = "REPRO_TRACE_CACHE_MAX_BYTES"
+
 _ENV_OFF = ("", "0", "off", "false", "no")
 _ENV_ON = ("1", "on", "true", "yes")
+
+
+def parse_size(text) -> int:
+    """Byte sizes with an optional K/M/G suffix (binary units): ``64M``.
+
+    Raises ``ValueError`` on malformed or negative input (the CLI wraps
+    this into its usage error)."""
+    text = str(text).strip()
+    scale = 1
+    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    if text and text[-1].lower() in suffixes:
+        scale = suffixes[text[-1].lower()]
+        text = text[:-1]
+    value = int(text)  # ValueError propagates with the usual message
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {value}")
+    return value * scale
+
+
+def _env_max_bytes() -> int | None:
+    raw = os.environ.get(MAX_BYTES_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return parse_size(raw)
+    except ValueError:
+        warnings.warn(
+            f"trace cache: ignoring malformed {MAX_BYTES_ENV_VAR}="
+            f"{raw!r} (expected N[K|M|G])",
+            RuntimeWarning, stacklevel=3,
+        )
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -259,12 +295,21 @@ class CacheEntry:
 
 
 class TraceStore:
-    """Content-addressed directory of serialized trace artifacts."""
+    """Content-addressed directory of serialized trace artifacts.
+
+    ``max_bytes`` (or the ``REPRO_TRACE_CACHE_MAX_BYTES`` environment
+    variable, ``N[K|M|G]``) bounds the cache size: every successful
+    :meth:`put` opportunistically runs the LRU eviction pass
+    (:meth:`gc` with ``max_bytes``), so a long-running process — the
+    simulation service in particular — cannot grow the cache without
+    bound.  Unset = unbounded, exactly the old behavior."""
 
     SUFFIX = ".trace"
 
-    def __init__(self, root):
+    def __init__(self, root, max_bytes: int | None = None):
         self.root = os.path.abspath(os.path.expanduser(os.fspath(root)))
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else _env_max_bytes())
 
     def path(self, digest: str) -> str:
         return os.path.join(self.root, digest + self.SUFFIX)
@@ -347,6 +392,13 @@ class TraceStore:
             except OSError:
                 pass
             return False
+        if self.max_bytes is not None:
+            # Opportunistic LRU eviction keeps the cache inside its
+            # size bound without a separate maintenance process; the
+            # entry just written has the freshest access time, so it is
+            # the last candidate (evicted only when it alone exceeds
+            # the bound).
+            self.gc(max_bytes=self.max_bytes)
         return True
 
     def entries(self) -> list[CacheEntry]:

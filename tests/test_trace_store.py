@@ -401,3 +401,73 @@ class TestBatchStripping:
         batch = session.run_many([{"depths": {"fifo2": 4}}],
                                  keep_graphs=True)
         assert batch[0].trace is not None
+
+
+class TestAutoEviction:
+    """ISSUE 9 satellite: ``TraceStore(max_bytes=...)`` /
+    ``REPRO_TRACE_CACHE_MAX_BYTES`` bound the cache, enforced
+    opportunistically on every successful put."""
+
+    @staticmethod
+    def _artifact():
+        from repro.trace.columnar import replay_trace
+
+        session = Session.open("fig4_ex5", n=100)
+        return replay_trace(session.baseline())
+
+    def test_parse_size(self):
+        from repro.trace.store import parse_size
+
+        assert parse_size("64") == 64
+        assert parse_size("2K") == 2048
+        assert parse_size("3m") == 3 * 1024 ** 2
+        assert parse_size("1G") == 1024 ** 3
+        with pytest.raises(ValueError):
+            parse_size("lots")
+        with pytest.raises(ValueError):
+            parse_size("-5")
+
+    def test_put_evicts_lru_past_bound(self, tmp_path):
+        artifact = self._artifact()
+        store = TraceStore(tmp_path)
+        assert store.max_bytes is None  # env unset -> unbounded
+        store.put("a" * 64, artifact)
+        size = store.entries()[0].size
+        # room for exactly two entries; the third put must evict the
+        # least-recently-used one
+        store = TraceStore(tmp_path, max_bytes=2 * size + size // 2)
+        store.put("b" * 64, artifact)
+        now = os.path.getmtime(store.path("b" * 64))
+        # make "a" clearly the LRU
+        os.utime(store.path("a" * 64), (now - 100, now - 100))
+        os.utime(store.path("b" * 64), (now - 50, now - 50))
+        store.put("c" * 64, artifact)
+        assert not store.contains("a" * 64)
+        assert store.contains("b" * 64)
+        assert store.contains("c" * 64)
+
+    def test_single_oversized_entry_is_evicted(self, tmp_path):
+        artifact = self._artifact()
+        store = TraceStore(tmp_path, max_bytes=16)
+        assert store.put("d" * 64, artifact)  # write succeeds...
+        assert not store.contains("d" * 64)   # ...then the bound wins
+
+    def test_env_var_bounds_new_stores(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MAX_BYTES", "2K")
+        assert TraceStore(tmp_path).max_bytes == 2048
+        # explicit argument wins over the environment
+        assert TraceStore(tmp_path, max_bytes=64).max_bytes == 64
+
+    def test_malformed_env_var_warns_and_ignores(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MAX_BYTES", "many")
+        with pytest.warns(RuntimeWarning, match="MAX_BYTES"):
+            store = TraceStore(tmp_path)
+        assert store.max_bytes is None
+
+    def test_bounded_store_still_serves_warm(self, tmp_path):
+        session = Session.open("fig4_ex5", n=100, trace_cache=tmp_path)
+        session.trace_store.max_bytes = 64 * 1024 ** 2
+        assert session.baseline().phase_seconds["capture"] == "cold"
+        warm = Session.open("fig4_ex5", n=100, trace_cache=tmp_path)
+        assert warm.baseline().phase_seconds["capture"] == "warm"
