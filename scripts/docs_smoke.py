@@ -12,9 +12,10 @@ Five checks (run one by name, or all by default):
   ``repro.api`` quickstart) and execute them (so the programmatic
   quickstart can never drift from the API);
 * ``design`` — assert DESIGN.md documents the vectorized batch-retiming
-  kernel (section 16), the fuzzing harness (section 17) and the
-  simulation service (section 18), and run any ``python -m repro``
-  lines in its fenced ``bash`` blocks;
+  kernel (section 16), the fuzzing harness (section 17), the
+  simulation service (section 18) and the adaptive search layer
+  (section 19), and run any ``python -m repro`` lines in its fenced
+  ``bash`` blocks;
 * ``service`` — start an in-process ``repro serve`` instance and
   exercise the README's "Simulation as a service" claims end to end:
   cold then warm run, incremental depth override, sweep, structured
@@ -108,8 +109,9 @@ def check_api() -> int:
 
 
 def check_design() -> int:
-    """DESIGN.md must document the vectorized kernel (section 16) and
-    the fuzzing harness (section 17), and its ``python -m repro``
+    """DESIGN.md must document the vectorized kernel (section 16), the
+    fuzzing harness (section 17), the service (section 18) and the
+    adaptive search layer (section 19), and its ``python -m repro``
     command lines (if any) must run — same drift guard the README
     gets."""
     with open(os.path.join(ROOT, "DESIGN.md"), encoding="utf-8") as fh:
@@ -120,7 +122,10 @@ def check_design() -> int:
                 "run_differential", "tests/regressions/",
                 "REPRO_INJECT_COSIM_FINALITY_BUG",
                 "## 18. Simulation as a service",
-                "SingleFlight", "STATUS_TABLE", "/v1/meta"]
+                "SingleFlight", "STATUS_TABLE", "/v1/meta",
+                "## 19. Adaptive Pareto-guided search",
+                "dominated-region pruning", "frontier polish",
+                "--strategy refine", "max_evals", "round:N"]
     failures = 0
     for needle in required:
         if needle not in design:

@@ -333,7 +333,8 @@ class Session:
               jobs: int = 1, executor: str | None = None,
               timeout: float | None = None, max_retries: int = 3,
               checkpoint=None, resume: bool = False, faults=None,
-              vectorize: bool = True, batch_size: int | None = None):
+              vectorize: bool = True, batch_size: int | None = None,
+              strategy: str | None = None, max_evals: int | None = None):
         """Depth-space exploration over this session's design.
 
         ``space`` is a :class:`~repro.dse.DepthSpace` or a list of axis
@@ -344,7 +345,11 @@ class Session:
         (``timeout``, ``max_retries``, ``checkpoint``/``resume``,
         ``faults``) pass through to the supervised executor, and
         ``vectorize``/``batch_size`` control the batched retiming kernel
-        — see :func:`repro.dse.explore`.
+        — see :func:`repro.dse.explore`.  ``strategy`` selects how the
+        space is covered (``"exhaustive"`` default, ``"refine"``,
+        ``"random"``) and ``max_evals`` bounds the total number of
+        evaluated configurations — the adaptive seam for spaces too
+        large to enumerate.
         """
         from ..dse import explore
 
@@ -354,7 +359,8 @@ class Session:
                        timeout=timeout, max_retries=max_retries,
                        checkpoint=checkpoint, resume=resume,
                        faults=faults, vectorize=vectorize,
-                       batch_size=batch_size)
+                       batch_size=batch_size, strategy=strategy,
+                       max_evals=max_evals)
 
     # -- analysis -------------------------------------------------------
 

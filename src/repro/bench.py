@@ -101,6 +101,33 @@ SMOKE_DSE_SWEEPS = [
     ("vector_add_stream", "vector_add_stream", {"n": 256}, ["sc=1:8"]),
 ]
 
+#: (label, design, params, depth-space specs) for the adaptive-search
+#: benchmark: spaces small enough to enumerate for ground truth, large
+#: enough that refinement's pruning matters.  Each entry is checked
+#: against the Table 6 acceptance bar — >= 10x fewer evaluations than
+#: exhaustive at >= 0.95 of its hypervolume.  fig4_ex5 at n=400 is the
+#: deliberately hostile case: its retiming curve is non-monotone (a
+#: deeper fifo1 can cost a handful of cycles), so it exercises the
+#: frontier polish, not just the pruning rule.
+SEARCH_BENCHES = [
+    ("fig4_ex5", "fig4_ex5", {"n": 400}, ["fifo1=1:32", "fifo2=1:32"]),
+    ("vector_add_stream", "vector_add_stream", {},
+     ["sa=1:32", "sb=1:32"]),
+]
+
+SMOKE_SEARCH_BENCHES = [
+    ("fig4_ex5", "fig4_ex5", {"n": 100}, ["fifo1=1:16", "fifo2=1:16"]),
+]
+
+#: (design, params, specs, max_evals) for the million-config demo: a
+#: space past the enumeration guard, searched to convergence under a
+#: fixed budget without ever materializing the product.
+SEARCH_MILLION = ("fig4_ex5", {"n": 400},
+                  ["fifo1=1:1024", "fifo2=1:1024"], 512)
+
+SMOKE_SEARCH_MILLION = ("fig4_ex5", {"n": 100},
+                        ["fifo1=1:1024", "fifo2=1:1024"], 128)
+
 #: (label, design, params, swept fifo, config count, batch sizes) for
 #: the batch-retiming kernel benchmark: scalar resimulate vs
 #: ``resimulate_batch`` on the same captured artifact.
@@ -305,6 +332,111 @@ def bench_dse(name: str, params: dict, specs: list) -> dict:
             "overhead_pct": round(100.0 * (supervised - bare)
                                   / max(bare, 1e-9), 2),
         },
+    }
+
+
+def bench_search(name: str, params: dict, specs: list) -> dict:
+    """Adaptive search quality against exhaustive ground truth.
+
+    Sweeps the space three ways — exhaustive (the oracle), refine, and
+    random under the same eval budget refine used — and scores the
+    adaptive frontiers by hypervolume ratio against the oracle's.  The
+    Table 6 acceptance bar is enforced here, not just reported: refine
+    must spend >= 10x fewer evaluations than exhaustive while keeping
+    >= 0.95 of its hypervolume, or the benchmark raises."""
+    from .dse import explore, frontier_distance, hypervolume, pareto_vectors
+
+    def check(ok: bool, detail: str) -> None:
+        # Explicit raise, not assert: the bar must hold under python -O.
+        if not ok:
+            raise RuntimeError(f"search bench {name}: {detail}")
+
+    exhaustive = explore(name, specs, params=params, jobs=1,
+                         trace_cache=False)
+    truth = pareto_vectors(exhaustive.points)
+    check(bool(truth), "exhaustive sweep produced an empty frontier")
+    ref = (max(c for c, _ in truth) * 1.1 + 1,
+           max(b for _, b in truth) * 1.1 + 1)
+    truth_hv = hypervolume(truth, ref)
+    check(truth_hv > 0, "exhaustive frontier has zero hypervolume")
+
+    def score(sweep) -> dict:
+        vectors = pareto_vectors(sweep.points)
+        spent = sweep.search["evals"]["spent"]
+        hv_ratio = hypervolume(vectors, ref) / truth_hv
+        distance = frontier_distance(vectors, truth)
+        return {
+            "evals": spent,
+            "eval_ratio": round(exhaustive.evaluated / max(spent, 1), 2),
+            "hv_ratio": round(hv_ratio, 4),
+            "frontier_size": len(vectors),
+            "frontier_identical": sorted(vectors) == sorted(truth),
+            "frontier_distance": (None if distance == float("inf")
+                                  else round(distance, 4)),
+            "rounds": len(sweep.search["rounds"]),
+            "seconds": round(sweep.seconds, 6),
+            "search": sweep.search,
+        }
+
+    refine = explore(name, specs, params=params, jobs=1,
+                     trace_cache=False, strategy="refine")
+    refined = score(refine)
+    rand = explore(name, specs, params=params, jobs=1, trace_cache=False,
+                   strategy="random", max_evals=refined["evals"])
+    check(refined["eval_ratio"] >= 10.0,
+          f"refine spent {refined['evals']} evals vs"
+          f" {exhaustive.evaluated} exhaustive"
+          f" ({refined['eval_ratio']:.1f}x < 10x)")
+    check(refined["hv_ratio"] >= 0.95,
+          f"refine hypervolume ratio {refined['hv_ratio']:.4f} < 0.95")
+    return {
+        "params": params,
+        "space": specs,
+        "space_size": exhaustive.evaluated,
+        "exhaustive_evals": exhaustive.evaluated,
+        "exhaustive_seconds": round(exhaustive.seconds, 6),
+        "frontier_size": len(truth),
+        "refine": refined,
+        "random": score(rand),
+    }
+
+
+def bench_search_million(name: str, params: dict, specs: list,
+                         max_evals: int) -> dict:
+    """The headline demo: a depth space past the enumeration guard,
+    searched to convergence under a fixed budget.  Exhausting it is not
+    an option — the space is never materialized (``DepthSpace`` stays
+    lazy) and the eval count must respect ``max_evals``."""
+    from .dse import DepthSpace, explore, parse_axis, pareto_vectors
+
+    def check(ok: bool, detail: str) -> None:
+        if not ok:
+            raise RuntimeError(f"search million bench {name}: {detail}")
+
+    space = DepthSpace([parse_axis(spec) for spec in specs])
+    check(space.size >= 1_000_000,
+          f"space holds only {space.size} configurations")
+    sweep = explore(name, specs, params=params, jobs=1, trace_cache=False,
+                    strategy="refine", max_evals=max_evals)
+    check(sweep.evaluated <= max_evals,
+          f"evaluated {sweep.evaluated} > budget {max_evals}")
+    search = sweep.search
+    skipped = (search.get("pruned_configs", 0)
+               + search.get("deadlock_pruned_configs", 0))
+    return {
+        "params": params,
+        "space": specs,
+        "space_size": space.size,
+        "max_evals": max_evals,
+        "evals": search["evals"]["spent"],
+        "converged": search["converged"],
+        "stopped": search["stopped"],
+        "rounds": len(search["rounds"]),
+        "pruned_configs": skipped,
+        "frontier_size": len(pareto_vectors(sweep.points)),
+        "seconds": round(sweep.seconds, 6),
+        "configs_per_sec": round(sweep.configs_per_sec, 1),
+        "search": search,
     }
 
 
@@ -733,6 +865,8 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
     groups = SMOKE_GROUPS if smoke else BENCH_GROUPS
     sweeps = SMOKE_RETIME_SWEEPS if smoke else RETIME_SWEEPS
     dse_sweeps = SMOKE_DSE_SWEEPS if smoke else DSE_SWEEPS
+    search_benches = SMOKE_SEARCH_BENCHES if smoke else SEARCH_BENCHES
+    search_million = SMOKE_SEARCH_MILLION if smoke else SEARCH_MILLION
     api_batches = SMOKE_API_BATCHES if smoke else API_BATCHES
     trace_benches = SMOKE_TRACE_BENCHES if smoke else TRACE_BENCHES
     batch_retime = (SMOKE_BATCH_RETIME_BENCHES if smoke
@@ -750,6 +884,7 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
         "groups": {},
         "retime": {},
         "dse": {},
+        "search": {},
         "batch_retime": {},
         "api": {},
         "trace": {},
@@ -797,6 +932,31 @@ def run_bench(smoke: bool = False, echo=print) -> dict:
             f" pareto size {entry['pareto_size']},"
             f" {entry['vectorize_speedup']:.2f}x vs scalar)"
         )
+    for label, name, params, specs in search_benches:
+        echo(f"adaptive search {label} ({', '.join(specs)}) ...")
+        entry = bench_search(name, params, specs)
+        report["search"][label] = entry
+        refined = entry["refine"]
+        echo(
+            f"  refine {refined['evals']} evals vs"
+            f" {entry['exhaustive_evals']} exhaustive"
+            f" ({refined['eval_ratio']:.1f}x fewer),"
+            f" hv ratio {refined['hv_ratio']:.4f},"
+            f" frontier {'identical' if refined['frontier_identical'] else 'approximate'}"
+            f" (random baseline hv {entry['random']['hv_ratio']:.4f})"
+        )
+    m_name, m_params, m_specs, m_budget = search_million
+    echo(f"adaptive search million-config ({', '.join(m_specs)},"
+         f" budget {m_budget}) ...")
+    entry = bench_search_million(m_name, m_params, m_specs, m_budget)
+    report["search"]["million_config"] = entry
+    echo(
+        f"  {entry['space_size']:,} configs searched with"
+        f" {entry['evals']} evals"
+        f" ({entry['pruned_configs']:,} pruned),"
+        f" {'converged' if entry['converged'] else entry['stopped']}"
+        f" in {entry['seconds']:.2f}s"
+    )
     for label, name, params, fifo, n_configs, sizes in batch_retime:
         echo(f"batch retime {label} ({fifo}, {n_configs} configs) ...")
         entry = bench_batch_retime(name, params, fifo, n_configs, sizes)

@@ -204,11 +204,17 @@ def cmd_dse(args) -> int:
     if args.resume and not args.checkpoint:
         raise SystemExit("dse --resume requires --checkpoint FILE")
     space = DepthSpace.parse(specs)
+    if (args.samples is not None
+            and args.strategy in ("refine", "random")):
+        raise SystemExit("dse --samples applies to the exhaustive "
+                         "strategy; bound an adaptive search with "
+                         "--max-evals instead")
     kwargs = dict(samples=args.samples, seed=args.seed, jobs=args.jobs,
                   executor=args.executor, trace_cache=args.trace_cache,
                   timeout=args.timeout, max_retries=args.max_retries,
                   vectorize=not args.no_vectorize,
-                  batch_size=args.batch_size)
+                  batch_size=args.batch_size, strategy=args.strategy,
+                  max_evals=args.max_evals)
     # Directory-sweep mode only when the argument cannot mean a registry
     # design — a stray local directory must not shadow a design name.
     known_name = (args.design in designs.ALIASES
@@ -234,6 +240,24 @@ def cmd_dse(args) -> int:
     if modes:
         print("modes      : " + ", ".join(
             f"{mode}={count}" for mode, count in sorted(modes.items())))
+    search = sweep.search
+    if search:
+        budget = search["evals"]["budget"]
+        parts = [
+            f"strategy={search['strategy']}",
+            f"rounds={len(search['rounds'])}",
+            f"evals={search['evals']['spent']}"
+            + (f"/{budget}" if budget is not None else ""),
+        ]
+        pruned = (search.get("pruned_regions", 0)
+                  + search.get("deadlock_pruned_regions", 0))
+        if pruned:
+            skipped = (search.get("pruned_configs", 0)
+                       + search.get("deadlock_pruned_configs", 0))
+            parts.append(f"pruned={pruned} regions ({skipped} configs)")
+        parts.append("converged=" + ("yes" if search["converged"]
+                                     else f"no ({search['stopped']})"))
+        print("search     : " + ", ".join(parts))
     print(f"full resim : {sweep.full_count}")
     if sweep.deadlock_count:
         print(f"deadlocked : {sweep.deadlock_count}")
@@ -726,6 +750,19 @@ def main(argv=None) -> int:
                             help="evaluate every configuration on the "
                                  "scalar incremental path (disable the "
                                  "NumPy batch-retiming kernel)")
+    dse_parser.add_argument("--strategy", default=None,
+                            choices=("exhaustive", "refine", "random"),
+                            help="how to cover the space: exhaustive "
+                                 "(default; enumerate or --samples), "
+                                 "refine (Pareto-guided successive "
+                                 "refinement with dominated-region "
+                                 "pruning), random (seeded restarts)")
+    dse_parser.add_argument("--max-evals", type=int, default=None,
+                            metavar="N",
+                            help="evaluate at most N configurations: "
+                                 "adaptive strategies stop at the "
+                                 "budget; exhaustive degrades to a "
+                                 "seeded N-sample")
 
     trace_parser = sub.add_parser(
         "trace", help="inspect / manage the on-disk trace cache",

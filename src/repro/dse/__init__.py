@@ -10,7 +10,12 @@ re-runs.  This package drives that primitive at scale:
   then incremental-first evaluation per configuration with automatic
   full-simulation fallback + graph re-capture, optionally sharded across
   a process pool;
-* :mod:`repro.dse.pareto` — cycles-vs-buffer-area Pareto frontier.
+* :mod:`repro.dse.pareto` — cycles-vs-buffer-area Pareto frontier plus
+  the hypervolume / frontier-distance quality metrics;
+* :mod:`repro.dse.search` — adaptive strategies (successive refinement
+  with dominated-region pruning, seeded random restarts) that recover
+  the frontier of million-config spaces with a fraction of the
+  evaluations, under an explicit ``max_evals`` budget.
 
 Designs come from the registry (name or group alias), from a DSL spec
 file, or — via :func:`explore_specs` — from a whole directory of
@@ -37,12 +42,27 @@ from .explorer import (
     explore_specs,
     iter_spec_files,
 )
-from .pareto import dominates, pareto_front
-from .space import DepthAxis, DepthSpace, parse_axis
+from .pareto import (
+    dominates,
+    frontier_distance,
+    hypervolume,
+    pareto_front,
+    pareto_vectors,
+    weakly_dominates,
+)
+from .search import (
+    STRATEGIES,
+    RandomStrategy,
+    RefineStrategy,
+    SearchStrategy,
+    make_strategy,
+)
+from .space import ENUMERATE_LIMIT, DepthAxis, DepthSpace, parse_axis
 
 __all__ = [
     "DepthAxis",
     "DepthSpace",
+    "ENUMERATE_LIMIT",
     "Evaluator",
     "MODE_FULL",
     "MODE_SCALAR",
@@ -52,12 +72,21 @@ __all__ = [
     "SOURCE_FULL",
     "SOURCE_INCREMENTAL",
     "SOURCE_QUARANTINED",
+    "STRATEGIES",
+    "RandomStrategy",
+    "RefineStrategy",
+    "SearchStrategy",
     "SweepPoint",
     "SweepResult",
     "dominates",
     "explore",
     "explore_specs",
+    "frontier_distance",
+    "hypervolume",
     "iter_spec_files",
+    "make_strategy",
     "pareto_front",
+    "pareto_vectors",
     "parse_axis",
+    "weakly_dominates",
 ]

@@ -48,12 +48,17 @@ import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from ..errors import ConstraintViolation, DeadlockError, SimulationError
+from ..errors import (
+    ConstraintViolation,
+    DeadlockError,
+    DseError,
+    SimulationError,
+)
 from ..sim.incremental import resimulate
 from ..sim.registry import run_engine
 from ..sim.result import portable_reference
-from .pareto import pareto_front
-from .space import DepthSpace
+from .pareto import frontier_distance, pareto_front
+from .space import ENUMERATE_LIMIT, DepthSpace
 
 #: evaluation paths a sweep point can come from
 SOURCE_INCREMENTAL = "incremental"
@@ -134,6 +139,10 @@ class SweepResult:
     #: :class:`repro.exec.SupervisionReport`; None on the legacy bare
     #: pool path
     supervision: dict | None = None
+    #: adaptive-search provenance (strategy, per-round evals/frontier
+    #: movement, prune counters, budget accounting) — None on plain
+    #: exhaustive sweeps; see :mod:`repro.dse.search`
+    search: dict | None = None
 
     @property
     def evaluated(self) -> int:
@@ -215,6 +224,7 @@ class SweepResult:
             "modes": self.mode_counts,
             "capture": self.capture,
             "supervision": self.supervision,
+            "search": self.search,
             "capture_seconds": round(self.capture_seconds, 6),
             "seconds": round(self.seconds, 6),
             "configs_per_sec": round(self.configs_per_sec, 2),
@@ -460,6 +470,7 @@ def explore(design, space, *, params: dict | None = None,
             timeout: float | None = None, max_retries: int = 3,
             checkpoint=None, resume: bool = False, faults=None,
             vectorize: bool = True, batch_size: int | None = None,
+            strategy: str | None = None, max_evals: int | None = None,
             _pool_mode: str = "supervised") -> SweepResult:
     """Sweep ``design`` over ``space`` and aggregate a :class:`SweepResult`.
 
@@ -504,6 +515,22 @@ def explore(design, space, *, params: dict | None = None,
     :data:`repro.trace.vectorized.DEFAULT_BATCH_SIZE`).  Each point's
     ``mode`` field records the path that served it.  Without NumPy the
     sweep transparently degrades to the scalar path.
+
+    Adaptive search (:mod:`repro.dse.search`): ``strategy`` picks how
+    the space is covered — ``"exhaustive"`` (default; enumerate or
+    ``samples``-sample the grid), ``"refine"`` (successive refinement
+    with dominated-region pruning) or ``"random"`` (seeded restarts
+    with a stagnation stop).  ``max_evals`` bounds the total number of
+    configurations evaluated: adaptive strategies stop when the budget
+    is spent, and the exhaustive path degrades to a seeded sample of
+    that many configurations.  Exhaustive sweeps refuse to enumerate
+    spaces above :data:`repro.dse.ENUMERATE_LIMIT` configurations
+    without a ``samples``/``max_evals`` cap — million-config products
+    are the adaptive strategies' job.  Adaptive runs fill the result's
+    ``search`` provenance block and checkpoint round-by-round: a
+    resumed search replays the same deterministic proposal sequence,
+    serving journaled configurations from disk, and lands on the exact
+    frontier of an uninterrupted run.
     """
     from ..api import Session
     from ..exec import (
@@ -516,6 +543,22 @@ def explore(design, space, *, params: dict | None = None,
     )
 
     from ..trace.vectorized import DEFAULT_BATCH_SIZE
+    from .search import STRATEGIES
+
+    strategy_name = "exhaustive" if strategy is None else strategy
+    if strategy_name not in STRATEGIES:
+        raise DseError(
+            f"unknown search strategy {strategy_name!r}; expected one "
+            f"of {', '.join(STRATEGIES)}"
+        )
+    adaptive = strategy_name != "exhaustive"
+    if max_evals is not None and max_evals < 1:
+        raise DseError(f"max_evals must be >= 1, got {max_evals}")
+    if adaptive and samples is not None:
+        raise DseError(
+            "samples applies to the exhaustive strategy only; bound an "
+            "adaptive search with max_evals instead"
+        )
 
     fault_plan = resolve_plan(faults)
     policy = ExecPolicy(timeout=timeout, max_retries=max_retries,
@@ -529,9 +572,11 @@ def explore(design, space, *, params: dict | None = None,
         raise ValueError(f"unknown _pool_mode {_pool_mode!r}")
     if _pool_mode == "bare" and (checkpoint is not None
                                  or fault_plan is not None
-                                 or timeout is not None):
+                                 or timeout is not None
+                                 or adaptive):
         raise TypeError("the bare pool path supports no checkpoint, "
-                        "fault or timeout handling (benchmark use only)")
+                        "fault, timeout or adaptive-strategy handling "
+                        "(benchmark use only)")
 
     if not isinstance(space, DepthSpace):
         space = DepthSpace.parse(space)
@@ -591,11 +636,7 @@ def explore(design, space, *, params: dict | None = None,
         design_name = session.compiled.name
         base_depths = session.compiled.stream_depths()
 
-    configs = (space.sample(samples, seed) if samples is not None
-               else list(space.configurations()))
-
-    sweep_start = _time.perf_counter()
-    jobs = max(1, min(jobs, len(configs) or 1))
+    jobs = max(1, jobs)
     if jobs > 1 and design_ref[0] == "compiled":
         # Ad-hoc designs must cross the process boundary whole, and
         # ``@hls.kernel``-wrapped functions don't pickle under the
@@ -608,24 +649,41 @@ def explore(design, space, *, params: dict | None = None,
         except Exception:
             jobs = 1
 
+    if adaptive:
+        return _explore_adaptive(
+            session, space, strategy_name=strategy_name,
+            max_evals=max_evals, seed=seed, jobs=jobs, executor=executor,
+            policy=policy, fault_plan=fault_plan, checkpoint=checkpoint,
+            resume=resume, vectorize=vectorize,
+            effective_batch=effective_batch, params=params,
+            design_name=design_name, base=base, base_depths=base_depths,
+            trace=trace, capture_seconds=capture_seconds,
+        )
+
+    # Exhaustive path: enumerate the grid, or a seeded sample of it
+    # when ``samples``/``max_evals`` caps the evaluation count.
+    cap = samples
+    if max_evals is not None and (cap is None or cap > max_evals):
+        cap = max_evals
+    if cap is not None and cap < space.size:
+        configs = space.sample(cap, seed)
+    elif space.size > ENUMERATE_LIMIT:
+        raise DseError(
+            f"depth space has {space.size} configurations (more than "
+            f"the enumeration limit of {ENUMERATE_LIMIT}); cap the "
+            "exhaustive sweep with samples=/max_evals= or use an "
+            "adaptive strategy ('refine'/'random')"
+        )
+    else:
+        configs = list(space.configurations())
+
+    sweep_start = _time.perf_counter()
+    jobs = min(jobs, len(configs) or 1)
+
     # One unit per configuration; the key is the config's canonical JSON,
     # so checkpoint journals are stable across invocations and shardings.
     units = [Unit(i, _json.dumps(config, sort_keys=True), config)
              for i, config in enumerate(configs)]
-
-    def quarantined_point(config, detail):
-        depths = dict(base_depths)
-        depths.update(config)
-        return SweepPoint(
-            depths=depths,
-            cycles=None,
-            buffer_bits=(trace.buffer_bits(depths)
-                         if trace is not None else 0),
-            source=SOURCE_QUARANTINED,
-            seconds=0.0,
-            detail=(f"{detail['reason']}: {detail['message']} "
-                    f"(quarantined after {detail['attempts']} attempts)"),
-        )
 
     journal = None
     restored = {}
@@ -640,6 +698,13 @@ def explore(design, space, *, params: dict | None = None,
             "seed": seed,
             "executor": executor,
         }
+        if max_evals is not None:
+            # The budget changes which configurations the sweep covers,
+            # so it is part of the journal's identity.  (Unbudgeted
+            # exhaustive journals keep the pre-budget identity shape
+            # and stay resumable across versions.)
+            identity["strategy"] = strategy_name
+            identity["max_evals"] = max_evals
         journal, restored = CheckpointJournal.open(checkpoint, identity,
                                                    resume=resume)
 
@@ -657,7 +722,8 @@ def explore(design, space, *, params: dict | None = None,
         if journal is None:
             return
         point = (value if status == "ok"
-                 else quarantined_point(unit.payload, value))
+                 else _quarantined_point(base_depths, trace,
+                                         unit.payload, value))
         journal.append(unit.key, point.to_json())
 
     supervision = None
@@ -714,15 +780,41 @@ def explore(design, space, *, params: dict | None = None,
             journal.close()
 
     for index, (status, value) in results.items():
-        points_by_index[index] = (value if status == "ok"
-                                  else quarantined_point(configs[index],
-                                                         value))
+        points_by_index[index] = (
+            value if status == "ok"
+            else _quarantined_point(base_depths, trace,
+                                    configs[index], value))
     points = [points_by_index[i] for i in range(len(configs))]
     supervision = report.to_json()
     supervision["resumed"] = resumed
     supervision["checkpoint"] = (_os.fspath(checkpoint)
                                  if checkpoint is not None else None)
     seconds = _time.perf_counter() - sweep_start
+
+    search = None
+    if strategy is not None or max_evals is not None:
+        # The search provenance block is uniform across strategies; for
+        # an (explicitly requested or budget-capped) exhaustive sweep it
+        # records the single enumerate-everything round.
+        search = {
+            "strategy": "exhaustive",
+            "stopped": "complete",
+            "converged": True,
+            "rounds": [{
+                "round": 1,
+                "proposed": len(points),
+                "evaluated": len(points) - resumed,
+                "restored": resumed,
+                "frontier_size": len(pareto_front(points)),
+                "frontier_moved": None,
+            }],
+            "evals": {
+                "budget": max_evals,
+                "spent": len(points),
+                "restored": resumed,
+                "new": len(points) - resumed,
+            },
+        }
 
     return SweepResult(
         design=design_name,
@@ -736,6 +828,264 @@ def explore(design, space, *, params: dict | None = None,
         seconds=seconds,
         capture=base.phase_seconds.get("capture", "cold"),
         supervision=supervision,
+        search=search,
+    )
+
+
+def _quarantined_point(base_depths, trace, config, detail) -> SweepPoint:
+    """A structured failure point for a configuration that exhausted
+    its retry budget (never dropped from the result)."""
+    depths = dict(base_depths)
+    depths.update(config)
+    return SweepPoint(
+        depths=depths,
+        cycles=None,
+        buffer_bits=(trace.buffer_bits(depths)
+                     if trace is not None else 0),
+        source=SOURCE_QUARANTINED,
+        seconds=0.0,
+        detail=(f"{detail['reason']}: {detail['message']} "
+                f"(quarantined after {detail['attempts']} attempts)"),
+    )
+
+
+def _merge_supervision(acc: dict | None, report: dict) -> dict:
+    """Fold one round's supervision report into the running total (an
+    adaptive search runs the supervised executor once per round)."""
+    if acc is None:
+        acc = dict(report)
+        acc["quarantined"] = list(report["quarantined"])
+        return acc
+    for key in ("units", "retries", "respawns", "splits", "timeouts",
+                "crashes", "errors", "solo_runs"):
+        acc[key] += report[key]
+    acc["seconds"] = round(acc["seconds"] + report["seconds"], 6)
+    acc["quarantined"] = acc["quarantined"] + list(report["quarantined"])
+    return acc
+
+
+#: journal keys of adaptive round markers (never a config outcome —
+#: config keys are canonical JSON objects and start with ``{``)
+_ROUND_KEY_PREFIX = "round:"
+
+
+def _explore_adaptive(session, space, *, strategy_name, max_evals, seed,
+                      jobs, executor, policy, fault_plan, checkpoint,
+                      resume, vectorize, effective_batch, params,
+                      design_name, base, base_depths, trace,
+                      capture_seconds) -> SweepResult:
+    """The adaptive half of :func:`explore`: a round-structured loop
+    where the strategy proposes configuration batches, the supervised
+    executor evaluates them (vectorized where possible), and observed
+    outcomes steer the next round.
+
+    Checkpointing is round-structured: completed configurations journal
+    exactly as in the exhaustive path (the unit key is the config's
+    canonical JSON), and a ``round:N`` marker line is appended after
+    each round with its provenance summary.  Resume does not *rewind*
+    to a round boundary — it replays the deterministic proposal
+    sequence from the start, serving every journaled configuration from
+    the restored outcomes (including a partially journaled final
+    round), so the search continues mid-refinement exactly where the
+    killed run stopped paying for evaluations.
+    """
+    from ..exec import CheckpointJournal, Supervisor, Unit, run_serial
+    from .search import config_key, make_strategy
+
+    strategy = make_strategy(strategy_name, space, seed=seed)
+    sweep_start = _time.perf_counter()
+
+    journal = None
+    restored = {}
+    if checkpoint is not None:
+        identity = {
+            "kind": "dse",
+            "design": design_name,
+            "digest": session.trace_digest(executor),
+            "space": [[axis.fifo, list(axis.values)]
+                      for axis in space.axes],
+            "samples": None,
+            "seed": seed,
+            "executor": executor,
+            # max_evals is deliberately NOT part of the identity: the
+            # proposal sequence is deterministic given (space, seed,
+            # strategy) and a budget only truncates it, so a
+            # budget-stopped search may be resumed with a bigger (or
+            # no) budget — the natural "give it more evals" workflow.
+            "strategy": strategy_name,
+        }
+        journal, restored = CheckpointJournal.open(checkpoint, identity,
+                                                   resume=resume)
+    restored_points = {key: doc for key, doc in restored.items()
+                       if not key.startswith(_ROUND_KEY_PREFIX)}
+
+    def record(unit, status, value):
+        if journal is None:
+            return
+        point = (value if status == "ok"
+                 else _quarantined_point(base_depths, trace,
+                                         unit.payload, value))
+        journal.append(unit.key, point.to_json())
+
+    evaluator = None
+    pool_factory = None
+    if jobs == 1:
+        evaluator = Evaluator(base, base_depths,
+                              lambda: session.compiled, executor)
+    else:
+        reference_spec = _reference_spec(session, base, executor)
+        design_ref = session.design_ref
+
+        def pool_factory():
+            return ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(design_ref, base_depths, executor,
+                          reference_spec, effective_batch),
+            )
+
+    points: list = []
+    outcomes: dict = {}
+    rounds_prov: list = []
+    supervision = None
+    prev_frontier = None
+    restored_used = 0
+    next_index = 0
+    round_no = 0
+    stalls = 0
+    stopped = "converged"
+    try:
+        while True:
+            remaining = (max_evals - len(points)
+                         if max_evals is not None else space.size + 1)
+            if remaining <= 0:
+                stopped = "budget"
+                break
+            batch = strategy.next_batch(remaining)[:remaining]
+            if not batch:
+                break
+            round_units = []
+            for config in batch:
+                key = config_key(config)
+                if key in outcomes or any(u.key == key
+                                          for u in round_units):
+                    continue
+                round_units.append(Unit(next_index, key, config))
+                next_index += 1
+            if not round_units:
+                # A strategy re-proposing only known configs is a bug;
+                # fail safe rather than spinning forever.
+                stalls += 1
+                if stalls >= 2:
+                    stopped = "stalled"
+                    break
+                continue
+            stalls = 0
+            round_no += 1
+            pending = []
+            round_restored = 0
+            for unit in round_units:
+                doc = restored_points.get(unit.key)
+                if doc is not None:
+                    outcomes[unit.key] = SweepPoint(**doc)
+                    round_restored += 1
+                else:
+                    pending.append(unit)
+            restored_used += round_restored
+            if pending:
+                if jobs == 1:
+                    results, report = run_serial(
+                        pending, evaluator.evaluate, policy=policy,
+                        fault_plan=fault_plan, record=record,
+                        run_batch=(evaluator.evaluate_batch if vectorize
+                                   else None),
+                        batch_size=effective_batch,
+                    )
+                else:
+                    supervisor = Supervisor(
+                        pool_factory, _evaluate_chunk, jobs=jobs,
+                        policy=policy, fault_plan=fault_plan,
+                        record=record,
+                    )
+                    results, report = supervisor.run(pending)
+                for unit in pending:
+                    status, value = results[unit.index]
+                    outcomes[unit.key] = (
+                        value if status == "ok"
+                        else _quarantined_point(base_depths, trace,
+                                                unit.payload, value))
+                supervision = _merge_supervision(supervision,
+                                                 report.to_json())
+            points.extend(outcomes[unit.key] for unit in round_units)
+            strategy.observe([(unit.payload, outcomes[unit.key])
+                              for unit in round_units])
+            frontier = [(p.cycles, p.buffer_bits)
+                        for p in pareto_front(points)]
+            moved = None
+            if prev_frontier is not None:
+                distance = frontier_distance(frontier, prev_frontier)
+                if distance != float("inf"):
+                    moved = round(distance, 6)
+            round_doc = {
+                "round": round_no,
+                "proposed": len(round_units),
+                "evaluated": len(pending),
+                "restored": round_restored,
+                "frontier_size": len(frontier),
+                "frontier_moved": moved,
+            }
+            rounds_prov.append(round_doc)
+            if journal is not None:
+                journal.append(f"{_ROUND_KEY_PREFIX}{round_no}",
+                               round_doc)
+            prev_frontier = frontier
+    finally:
+        if journal is not None:
+            journal.close()
+
+    seconds = _time.perf_counter() - sweep_start
+    search = {
+        "strategy": strategy_name,
+        "stopped": stopped,
+        "converged": stopped == "converged",
+        "rounds": rounds_prov,
+        "evals": {
+            "budget": max_evals,
+            "spent": len(points),
+            "restored": restored_used,
+            "new": len(points) - restored_used,
+        },
+    }
+    search.update(strategy.provenance())
+    if supervision is None:
+        # Every proposed configuration came from the journal: nothing
+        # was executed this run, but the provenance shape stays stable.
+        from ..exec import SupervisionReport
+
+        supervision = SupervisionReport(
+            mode="serial" if jobs == 1 else "pool", jobs=jobs).to_json()
+    if fault_plan is not None:
+        # Per-round reports each carry the plan's cumulative counter;
+        # the total is the plan's, not the per-round sum.
+        supervision["faults_injected"] = fault_plan.injected
+    supervision["resumed"] = restored_used
+    supervision["checkpoint"] = (_os.fspath(checkpoint)
+                                 if checkpoint is not None else None)
+    supervision["rounds"] = round_no
+
+    return SweepResult(
+        design=design_name,
+        params=params,
+        base_depths=base_depths,
+        base_cycles=base.cycles,
+        space_size=space.size,
+        jobs=jobs,
+        points=points,
+        capture_seconds=capture_seconds,
+        seconds=seconds,
+        capture=base.phase_seconds.get("capture", "cold"),
+        supervision=supervision,
+        search=search,
     )
 
 

@@ -1,11 +1,25 @@
-"""Pareto-frontier extraction for sweep results.
+"""Pareto-frontier extraction and quality metrics for sweep results.
 
 The default trade-off is the paper's Table 6 axis pair: simulated cycles
 (performance) against total FIFO buffer bits (area).  Both objectives are
 minimized; the frontier keeps one representative per objective vector.
+
+Besides :func:`pareto_front`, the module provides the two metrics the
+adaptive search layer (:mod:`repro.dse.search`) is steered and judged
+by:
+
+* :func:`hypervolume` — the 2-D area a frontier dominates up to a
+  reference point (the standard DSE quality measure: an adaptive search
+  that reaches >= 0.95 of the exhaustive frontier's hypervolume has
+  recovered essentially the whole trade-off curve);
+* :func:`frontier_distance` — symmetric Hausdorff distance between two
+  frontiers (the refinement stop rule: a frontier that stops moving has
+  converged).
 """
 
 from __future__ import annotations
+
+import math
 
 
 def _objective_vector(point, objectives):
@@ -18,6 +32,14 @@ def dominates(a, b) -> bool:
     return all(x <= y for x, y in zip(a, b)) and any(
         x < y for x, y in zip(a, b)
     )
+
+
+def weakly_dominates(a, b) -> bool:
+    """True if vector ``a`` is no worse than ``b`` everywhere
+    (minimization; equality counts).  The dominated-region pruning rule
+    uses this form: a region whose *best-case* corner is only equalled
+    by the frontier still cannot contribute a new frontier point."""
+    return all(x <= y for x, y in zip(a, b))
 
 
 def pareto_front(points, objectives=("cycles", "buffer_bits")) -> list:
@@ -45,3 +67,68 @@ def pareto_front(points, objectives=("cycles", "buffer_bits")) -> list:
         front.append(point)
         front_vectors.append(vector)
     return front
+
+
+def pareto_vectors(points, objectives=("cycles", "buffer_bits")) -> list:
+    """The frontier as plain objective tuples (sorted by the first
+    objective) — the form :func:`hypervolume` and
+    :func:`frontier_distance` consume."""
+    return [_objective_vector(p, objectives)
+            for p in pareto_front(points, objectives)]
+
+
+def hypervolume(points, ref) -> float:
+    """2-D hypervolume (minimization): the area dominated by the
+    non-dominated subset of ``points``, bounded by the reference point
+    ``ref``.
+
+    ``points`` is an iterable of ``(x, y)`` pairs (objective vectors);
+    entries with a ``None`` coordinate are skipped, and entries at or
+    beyond ``ref`` on either axis contribute nothing.  ``ref`` must be
+    weakly worse than every point that should count — conventionally the
+    component-wise maximum of the exhaustive sweep's objective vectors,
+    nudged up by one unit so boundary points still contribute.
+
+    Returns 0.0 for an empty (or fully clipped) frontier.
+    """
+    rx, ry = ref
+    vectors = sorted(
+        {(x, y) for x, y in points
+         if x is not None and y is not None and x < rx and y < ry}
+    )
+    area = 0.0
+    prev_y = ry
+    for x, y in vectors:
+        if y >= prev_y:
+            continue  # dominated by an earlier (smaller-x) vector
+        area += (rx - x) * (prev_y - y)
+        prev_y = y
+    return area
+
+
+def frontier_distance(a, b) -> float:
+    """Symmetric Hausdorff distance between two frontiers.
+
+    ``a`` and ``b`` are iterables of ``(x, y)`` objective vectors.  The
+    distance is ``max(h(a, b), h(b, a))`` where ``h(p, q)`` is the
+    largest distance from a point of ``p`` to its nearest point of
+    ``q`` (Euclidean).  Two equal frontiers have distance 0.0; the
+    distance to an empty frontier is ``inf`` (unless both are empty,
+    which compares equal at 0.0).  The refinement loop uses this as its
+    stop signal: rounds that no longer move the frontier are not worth
+    paying for.
+    """
+    a = [v for v in a if None not in v]
+    b = [v for v in b if None not in v]
+    if not a and not b:
+        return 0.0
+    if not a or not b:
+        return math.inf
+
+    def directed(src, dst):
+        return max(
+            min(math.dist(p, q) for q in dst)
+            for p in src
+        )
+
+    return max(directed(a, b), directed(b, a))

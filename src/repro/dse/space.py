@@ -9,11 +9,17 @@ flags use the same grammar):
 * ``fifo=V1,V2,...`` — explicit depth grid (a single ``fifo=V`` pins the
   FIFO to one depth, useful for constraining a sweep).
 
-Full grids enumerate in mixed-radix order (last axis fastest, so
-neighbouring configurations differ in one depth — the locality the
-incremental evaluator exploits); :meth:`DepthSpace.sample` draws distinct
-random configurations with a seeded RNG for reproducible subsampling of
-spaces too large to enumerate.
+The space is **lazy**: it is a description plus a mixed-radix indexing
+scheme (:meth:`DepthSpace.config_at` maps rank -> configuration, last
+axis fastest, so neighbouring ranks differ in one depth — the locality
+the incremental evaluator exploits), never a materialized product.  A
+6-FIFO design with depths 1..16 per FIFO describes 16.7M configurations
+in a few hundred bytes; :meth:`iter_configs` streams any subset of them
+and :meth:`sample` draws distinct seeded random configurations without
+ever holding the grid.  Consumers that *would* materialize the full
+product (the exhaustive explorer path) guard on
+:data:`ENUMERATE_LIMIT` — beyond it the adaptive search strategies
+(:mod:`repro.dse.search`) are the supported way in.
 """
 
 from __future__ import annotations
@@ -22,6 +28,13 @@ import random
 from dataclasses import dataclass
 
 from ..errors import DseError
+
+#: largest space the exhaustive path will enumerate outright; bigger
+#: spaces must be sampled (``--samples`` / ``--max-evals``) or searched
+#: adaptively (``--strategy refine|random``).  The limit protects
+#: against accidentally materializing a product nothing downstream
+#: could evaluate anyway (~hours at the vectorized kernel's rate).
+ENUMERATE_LIMIT = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -84,7 +97,7 @@ def parse_axis(spec: str) -> DepthAxis:
 
 
 class DepthSpace:
-    """Cartesian product of per-FIFO depth axes."""
+    """Cartesian product of per-FIFO depth axes (never materialized)."""
 
     def __init__(self, axes):
         self.axes: list[DepthAxis] = list(axes)
@@ -107,7 +120,13 @@ class DepthSpace:
 
     @property
     def size(self) -> int:
-        """Total number of configurations in the full grid."""
+        """Total number of configurations in the full grid.
+
+        Exact for arbitrarily large products (Python integers do not
+        overflow) — a 20-axis space of 16 depths each reports its true
+        ~1.2e24 size, and indexing (:meth:`config_at`) works against
+        it; only *enumeration* is gated, by :data:`ENUMERATE_LIMIT`.
+        """
         n = 1
         for axis in self.axes:
             n *= len(axis.values)
@@ -133,19 +152,51 @@ class DepthSpace:
             config[axis.fifo] = axis.values[digit]
         return dict(reversed(list(config.items())))
 
+    def iter_configs(self, indices=None):
+        """Stream configurations as ``{fifo: depth}`` dicts.
+
+        With ``indices`` (an iterable of mixed-radix ranks) only those
+        configurations are produced, in the given order; without it the
+        full enumeration streams in rank order.  Either way nothing is
+        materialized — this is the primitive every consumer (exhaustive
+        batches, adaptive round proposals, seeded samples) builds on.
+        """
+        if indices is None:
+            indices = range(self.size)
+        for index in indices:
+            yield self.config_at(index)
+
     def configurations(self):
         """Iterate every configuration as ``{fifo: depth}`` dicts."""
-        for index in range(self.size):
-            yield self.config_at(index)
+        return self.iter_configs()
+
+    def sample_indices(self, count: int, seed: int = 0) -> list:
+        """``count`` distinct mixed-radix ranks, seeded, sorted
+        ascending (so the corresponding configurations keep
+        near-neighbour locality).  Safe for spaces whose size exceeds
+        what ``len()``-based sampling can address."""
+        if count < 1:
+            raise DseError(f"sample count must be >= 1, got {count}")
+        size = self.size
+        if count >= size:
+            return list(range(size))
+        rng = random.Random(seed)
+        # random.sample(range(n), k) needs len(range(n)) to fit a
+        # C ssize_t; huge products overflow it.  Distinct draws by
+        # rejection are cheap there instead: count < size / 2 is
+        # guaranteed well before the overflow threshold matters.
+        try:
+            return sorted(rng.sample(range(size), count))
+        except OverflowError:
+            chosen: set = set()
+            while len(chosen) < count:
+                chosen.add(rng.randrange(size))
+            return sorted(chosen)
 
     def sample(self, count: int, seed: int = 0) -> list:
         """``count`` distinct random configurations (seeded, ordered by
         enumeration index so neighbours stay near-neighbours); the whole
-        space when ``count`` covers it."""
-        if count < 1:
-            raise DseError(f"sample count must be >= 1, got {count}")
-        if count >= self.size:
-            return list(self.configurations())
-        rng = random.Random(seed)
-        indices = sorted(rng.sample(range(self.size), count))
+        enumeration when ``count`` covers the space (no rejection
+        looping for impossible extra draws)."""
+        indices = self.sample_indices(count, seed)
         return [self.config_at(i) for i in indices]

@@ -552,21 +552,32 @@ class ReproService:
         from ..dse import DepthSpace
 
         space = DepthSpace.parse(req.space)
+        # The per-request size gate is an *evaluation* budget, not a
+        # space-size one: an adaptive search over a million-config
+        # space is admissible as long as max_evals caps what the server
+        # will actually pay for.
+        adaptive = req.strategy in ("refine", "random")
         effective = space.size
         if req.samples is not None:
             effective = min(effective, req.samples)
+        if req.max_evals is not None:
+            effective = min(effective, req.max_evals)
         if effective > self.config.max_configs:
+            hint = ("bound the search with 'max_evals'" if adaptive
+                    else "sample with 'samples'/'max_evals', use an "
+                         "adaptive 'strategy', or shrink the space")
             raise RequestTooLargeError(
-                f"sweep would evaluate {effective} configurations; the "
-                f"server's max_configs limit is "
-                f"{self.config.max_configs} (sample with 'samples' or "
-                f"shrink the space)")
+                f"sweep would evaluate up to {effective} configurations; "
+                f"the server's max_configs limit is "
+                f"{self.config.max_configs} ({hint})")
         _base, capture = await self._baseline_for(session, digest,
                                                   executor)
         sweep = await self._in_worker(
             functools.partial(session.sweep, space,
                               samples=req.samples, seed=req.seed,
-                              executor=executor))
+                              executor=executor,
+                              strategy=req.strategy,
+                              max_evals=req.max_evals))
         def point_doc(p):
             return wire.to_json(wire.SweepPointWire(
                 depths=dict(p.depths), cycles=p.cycles,
@@ -578,6 +589,7 @@ class ReproService:
             capture=capture, evaluated=sweep.evaluated,
             points=[point_doc(p) for p in sweep.points],
             pareto=[point_doc(p) for p in sweep.pareto()],
+            search=sweep.search,
             base_depths=dict(sweep.base_depths),
             base_cycles=sweep.base_cycles,
             seconds=round(time.perf_counter() - t0, 6),

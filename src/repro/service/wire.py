@@ -188,6 +188,14 @@ class SweepRequest(_DesignRequest):
     * ``space`` — axis specs (``["fifo2=1:16", "fifo1=2,4,8"]``)
       explored like ``repro dse`` (optionally ``samples``-sampled),
       returning the evaluated points plus the Pareto frontier.
+
+    Space sweeps additionally accept ``strategy``
+    (``"exhaustive"``/``"refine"``/``"random"``) and ``max_evals`` —
+    the adaptive-search seam, letting a service client explore spaces
+    far larger than the server's per-request config cap as long as the
+    evaluation *budget* fits it.  Both fields are optional, so
+    version-1 clients are unaffected (unknown fields are still
+    rejected; absent ones take the defaults).
     """
 
     design: str | None = None
@@ -198,6 +206,8 @@ class SweepRequest(_DesignRequest):
     space: list | None = None
     samples: int | None = None
     seed: int = 0
+    strategy: str | None = None
+    max_evals: int | None = None
     deadline: float | None = None
     schema_version: int = SCHEMA_VERSION
 
@@ -213,6 +223,8 @@ class SweepRequest(_DesignRequest):
                    "configs must be a non-empty array of depth objects")
             for i, config in enumerate(self.configs):
                 _check_depths(config, label=f"configs[{i}]")
+            _check(self.strategy is None and self.max_evals is None,
+                   "strategy/max_evals apply to 'space' sweeps only")
         if has_space:
             _check(isinstance(self.space, list) and self.space
                    and all(isinstance(s, str) for s in self.space),
@@ -223,6 +235,19 @@ class SweepRequest(_DesignRequest):
                    and not isinstance(self.samples, bool)
                    and self.samples >= 1,
                    "samples must be an integer >= 1")
+        if self.strategy is not None:
+            _check(self.strategy in ("exhaustive", "refine", "random"),
+                   "strategy must be one of 'exhaustive', 'refine', "
+                   "'random'")
+            _check(self.samples is None
+                   or self.strategy == "exhaustive",
+                   "samples applies to the exhaustive strategy only; "
+                   "bound an adaptive search with max_evals")
+        if self.max_evals is not None:
+            _check(isinstance(self.max_evals, int)
+                   and not isinstance(self.max_evals, bool)
+                   and self.max_evals >= 1,
+                   "max_evals must be an integer >= 1")
         _check(isinstance(self.seed, int)
                and not isinstance(self.seed, bool),
                "seed must be an integer")
@@ -334,6 +359,9 @@ class SweepResponse(_Response):
     points: list = field(default_factory=list)
     #: Pareto frontier (cycles vs buffer bits) — space sweeps only
     pareto: list | None = None
+    #: adaptive-search provenance (strategy, rounds, evals, pruning) —
+    #: present when the request asked for a strategy or a budget
+    search: dict | None = None
     base_depths: dict = field(default_factory=dict)
     base_cycles: int | None = None
     seconds: float = 0.0

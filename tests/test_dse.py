@@ -11,13 +11,17 @@ import pytest
 from repro import compile_design, designs
 from repro.cli import main as cli_main
 from repro.dse import (
+    ENUMERATE_LIMIT,
     SOURCE_FULL,
     SOURCE_INCREMENTAL,
     DepthSpace,
     dominates,
     explore,
+    frontier_distance,
+    hypervolume,
     pareto_front,
     parse_axis,
+    weakly_dominates,
 )
 from repro.errors import DseError
 from repro.sim import OmniSimulator
@@ -90,6 +94,42 @@ class TestDepthSpace:
         space = DepthSpace.parse(["a=1:3"])
         assert space.sample(99) == list(space.configurations())
 
+    def test_sample_rejects_nonpositive_count(self):
+        space = DepthSpace.parse(["a=1:3"])
+        with pytest.raises(DseError):
+            space.sample(0)
+
+    def test_config_at_mixed_radix_order(self):
+        space = DepthSpace.parse(["a=1:2", "b=4,8"])
+        assert [space.config_at(i) for i in range(space.size)] \
+            == list(space.configurations())
+        with pytest.raises(DseError):
+            space.config_at(space.size)
+
+    def test_huge_space_stays_lazy(self):
+        # 16^20 configurations: size must be exact (python bigint, no
+        # overflow), iteration must stream, and nothing may ever
+        # materialize the product.
+        space = DepthSpace.parse([f"f{i}=1:16" for i in range(20)])
+        assert space.size == 16 ** 20
+        first = next(iter(space.iter_configs()))
+        assert first == {f"f{i}": 1 for i in range(20)}
+        last = space.config_at(space.size - 1)
+        assert last == {f"f{i}": 16 for i in range(20)}
+
+    def test_huge_space_sampling_is_overflow_safe(self):
+        # random.sample(range(n), k) raises OverflowError once n
+        # exceeds ssize_t; the sampler must fall back gracefully and
+        # stay seeded-deterministic.
+        space = DepthSpace.parse([f"f{i}=1:16" for i in range(20)])
+        ranks = space.sample_indices(8, seed=3)
+        assert ranks == space.sample_indices(8, seed=3)
+        assert ranks != space.sample_indices(8, seed=4)
+        assert len(set(ranks)) == 8
+        assert ranks == sorted(ranks)
+        configs = space.sample(8, seed=3)
+        assert configs == [space.config_at(r) for r in ranks]
+
 
 class _Point:
     def __init__(self, cycles, buffer_bits):
@@ -117,6 +157,41 @@ class TestPareto:
         front = pareto_front(points)
         assert len(front) == 1
         assert front[0] is points[1]
+
+    def test_weak_dominance_admits_equality(self):
+        assert weakly_dominates((1, 2), (1, 2))
+        assert weakly_dominates((1, 1), (2, 2))
+        assert not weakly_dominates((1, 3), (2, 1))
+        assert not dominates((1, 2), (1, 2))
+
+    def test_hypervolume_hand_computed(self):
+        # Staircase of three points against ref (4, 4):
+        #   (1,3): (4-1)*(4-3) = 3
+        #   (2,2): (4-2)*(3-2) = 2
+        #   (3,1): (4-3)*(2-1) = 1
+        assert hypervolume([(1, 3), (2, 2), (3, 1)], (4, 4)) == 6.0
+        # A single point dominating the whole box:
+        assert hypervolume([(0, 0)], (2, 3)) == 6.0
+        assert hypervolume([], (4, 4)) == 0.0
+
+    def test_hypervolume_clips_skips_and_dedups(self):
+        # Beyond-ref and None-coordinate entries contribute nothing;
+        # dominated and duplicate entries add no area.
+        assert hypervolume([(1, 3), (5, 1), (1, 9)], (4, 4)) == 3.0
+        assert hypervolume([(None, 1), (1, None)], (4, 4)) == 0.0
+        assert hypervolume([(1, 3), (1, 3), (2, 3)], (4, 4)) == 3.0
+
+    def test_frontier_distance_hand_computed(self):
+        assert frontier_distance([(1, 2), (3, 1)],
+                                 [(1, 2), (3, 1)]) == 0.0
+        assert frontier_distance([(0, 0)], [(3, 4)]) == 5.0
+        # Symmetric: the worst directed gap wins, whichever side it
+        # is on — (6,8) is 10 away from its nearest point in b.
+        assert frontier_distance([(0, 0), (6, 8)], [(0, 0)]) == 10.0
+        assert frontier_distance([], []) == 0.0
+        assert frontier_distance([(1, 1)], []) == float("inf")
+        # None-containing vectors (deadlocked points) are ignored.
+        assert frontier_distance([(1, 1), (None, 5)], [(1, 1)]) == 0.0
 
 
 class TestExplorerTypeA:
@@ -148,6 +223,17 @@ class TestExplorerTypeA:
         sweep = explore(compiled, ["s1=1:8", "s2=1:8"], samples=10, seed=3)
         assert sweep.evaluated == 10
         assert sweep.space_size == 64
+
+    def test_uncapped_exhaustive_refuses_to_enumerate_huge_space(self):
+        compiled = compile_design(make_pipeline_design())
+        space = ["s1=1:2048", "s2=1:2048"]  # 4M configs > the guard
+        with pytest.raises(DseError, match="max_evals"):
+            explore(compiled, space)
+        # ... but a sampled sweep of the same space is fine: sampling
+        # never materializes the product.
+        sweep = explore(compiled, space, samples=3, seed=1)
+        assert sweep.evaluated == 3
+        assert sweep.space_size == 2048 * 2048 > ENUMERATE_LIMIT
 
 
 class TestExplorerFallback:

@@ -121,6 +121,29 @@ class TestWire:
             wire.SweepRequest.from_json(
                 {"design": "a", "configs": [{"f": 1}], "space": ["f=1:2"]})
 
+    def test_sweep_strategy_validation(self):
+        good = wire.SweepRequest.from_json(
+            {"design": "a", "space": ["f=1:2"], "strategy": "refine",
+             "max_evals": 10})
+        assert (good.strategy, good.max_evals) == ("refine", 10)
+        with pytest.raises(WireError, match="strategy must be one of"):
+            wire.SweepRequest.from_json(
+                {"design": "a", "space": ["f=1:2"], "strategy": "anneal"})
+        with pytest.raises(WireError, match="'space' sweeps only"):
+            wire.SweepRequest.from_json(
+                {"design": "a", "configs": [{"f": 1}],
+                 "strategy": "refine"})
+        with pytest.raises(WireError, match="exhaustive strategy only"):
+            wire.SweepRequest.from_json(
+                {"design": "a", "space": ["f=1:2"], "strategy": "refine",
+                 "samples": 4})
+        with pytest.raises(WireError, match="max_evals must be"):
+            wire.SweepRequest.from_json(
+                {"design": "a", "space": ["f=1:2"], "max_evals": 0})
+        with pytest.raises(WireError, match="max_evals must be"):
+            wire.SweepRequest.from_json(
+                {"design": "a", "space": ["f=1:2"], "max_evals": True})
+
     def test_parse_request_bad_json(self):
         with pytest.raises(WireError, match="not JSON"):
             wire.parse_request(wire.RunRequest, b"{nope")
@@ -332,8 +355,25 @@ class TestServerEndpoints:
         assert doc["evaluated"] == 8
         assert doc["pareto"], "space sweeps report the frontier"
         assert doc["base_cycles"] > 0
+        assert doc["search"] is None, "plain sweeps carry no search block"
         for point in doc["pareto"]:
             assert point["buffer_bits"] is not None
+
+    def test_sweep_adaptive_strategy_over_huge_space(self, server):
+        # A million-config space sails past max_configs, but with an
+        # eval budget the server admits it and the adaptive search
+        # recovers a frontier — the whole point of the seam.
+        status, doc = _post(server.port, "/v1/sweep",
+                            {"design": "fig4_ex5",
+                             "space": ["fifo1=1:1024", "fifo2=1:1024"],
+                             "strategy": "refine", "max_evals": 64})
+        assert status == 200
+        assert doc["evaluated"] <= 64
+        assert doc["pareto"]
+        search = doc["search"]
+        assert search["strategy"] == "refine"
+        assert search["evals"]["budget"] == 64
+        assert search["rounds"]
 
     def test_classify_and_report(self, server):
         status, doc = _post(server.port, "/v1/classify",
@@ -415,6 +455,17 @@ class TestServerErrors:
                             {"design": "fig4_ex5",
                              "space": ["fifo1=1:100", "fifo2=1:100"]})
         assert (status, doc["type"]) == (413, "RequestTooLargeError")
+        # The refusal teaches the escape hatch: the adaptive seam.
+        assert "strategy" in doc["error"]
+
+    def test_oversized_adaptive_budget_413_names_max_evals(self, server):
+        status, doc = _post(server.port, "/v1/sweep",
+                            {"design": "fig4_ex5",
+                             "space": ["fifo1=1:100", "fifo2=1:100"],
+                             "strategy": "refine",
+                             "max_evals": 1_000_000})
+        assert (status, doc["type"]) == (413, "RequestTooLargeError")
+        assert "max_evals" in doc["error"]
 
     def test_deadline_504(self):
         with serve_in_thread(workers=2) as handle:
